@@ -1,0 +1,30 @@
+"""E1 — Fig. 6a: per-question scores, GPT-4o baseline vs RAG.
+
+Paper result: RAG improves scores for 20 of 37 questions and hurts 3.
+Our substrate: a larger improvement count (the simulated baseline knows
+less PETSc than GPT-4o) and at least one regression from the same
+mechanism the paper describes (retrieval pulling tangential context).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import compare_modes, render_comparison, render_score_histogram
+
+
+def test_fig6a_baseline_vs_rag(benchmark, runs_fast):
+    def compare():
+        return compare_modes(runs_fast["baseline"], runs_fast["rag"])
+
+    cmp_ = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    print()
+    print(render_comparison(cmp_, title="Fig. 6a — baseline vs RAG"))
+    print()
+    print(render_score_histogram(runs_fast["baseline"], title="baseline"))
+    print()
+    print(render_score_histogram(runs_fast["rag"], title="RAG"))
+
+    # Shape assertions (paper: 20 improved / 3 worsened).
+    assert len(cmp_.improved) >= 20
+    assert len(cmp_.worsened) <= 3
+    assert runs_fast["rag"].mean_score() > runs_fast["baseline"].mean_score()

@@ -1,0 +1,29 @@
+"""E2 — Fig. 6b: baseline vs reranking-enhanced RAG.
+
+Paper result: 25 of 37 questions improved, **no negative impact on any
+question**, final distribution 33 questions at score 4 and 4 at score 3.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import compare_modes, render_comparison, render_score_histogram
+
+
+def test_fig6b_baseline_vs_rerank_rag(benchmark, runs_fast):
+    def compare():
+        return compare_modes(runs_fast["baseline"], runs_fast["rag+rerank"])
+
+    cmp_ = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    print()
+    print(render_comparison(cmp_, title="Fig. 6b — baseline vs reranking-enhanced RAG"))
+    print()
+    print(render_score_histogram(runs_fast["rag+rerank"], title="reranking-enhanced RAG"))
+
+    hist = runs_fast["rag+rerank"].score_histogram()
+    # Paper: improvements for 25 questions, zero regressions, and every
+    # question lands on score 3 or 4 (33x4 + 4x3).
+    assert len(cmp_.improved) >= 25
+    assert cmp_.worsened == []
+    assert hist[0] == hist[1] == hist[2] == 0
+    assert hist[4] >= 24

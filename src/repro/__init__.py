@@ -1,0 +1,51 @@
+"""repro — reproduction of "AI Assistants to Enhance and Exploit the
+PETSc Knowledge Base" (ICPP 2025).
+
+The package provides the complete assistant stack the paper describes,
+over a synthetic PETSc documentation corpus and deterministic simulated
+models (no network access required):
+
+>>> from repro import build_workflow
+>>> wf = build_workflow()                      # rag+rerank by default
+>>> answer = wf.ask("What does KSPBurb do?")   # grounded refusal
+>>> "no PETSc function" in answer.answer
+True
+
+Main entry points
+-----------------
+``build_default_corpus``      the synthetic PETSc knowledge base
+``build_workflow``            corpus → RAG(+rerank) → LLM → postprocess
+``build_rag_pipeline``        the bare pipeline in baseline/rag/rag+rerank mode
+``build_support_system``      the full Discord/mailing-list topology (Fig. 5)
+``krylov_benchmark``          the 37-question evaluation set
+``run_experiment``            grade a pipeline over the benchmark
+"""
+
+from repro.config import RetrievalConfig, WorkflowConfig
+from repro.corpus import build_default_corpus
+from repro.pipeline import AugmentedWorkflow, RAGPipeline, build_rag_pipeline, build_workflow
+from repro.bots import build_support_system
+from repro.evaluation import (
+    BlindGrader,
+    compare_modes,
+    krylov_benchmark,
+    run_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RetrievalConfig",
+    "WorkflowConfig",
+    "build_default_corpus",
+    "AugmentedWorkflow",
+    "RAGPipeline",
+    "build_rag_pipeline",
+    "build_workflow",
+    "build_support_system",
+    "BlindGrader",
+    "compare_modes",
+    "krylov_benchmark",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Agentic memory prototype (paper Section III-F: "we are pursuing using
+emerging agentic memory systems")."""
+
+from repro.agentmem.memory import AgentMemory, Episode, MemoryNote
+
+__all__ = ["AgentMemory", "Episode", "MemoryNote"]

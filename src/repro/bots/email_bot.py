@@ -1,0 +1,71 @@
+"""The email bot: mailing list → private forum channel (Fig. 5 arcs 3–4).
+
+Watches the ``petsc-users-notification`` channel for poller webhooks;
+on each notification it fetches unread mail from the Gmail account
+(marking it read), and posts every email into the ``petsc-users-emails``
+forum — one post per thread subject, follow-up mails as messages in the
+post, attachments carried over, bodies cleaned of reply quotes and
+url-defense wrappers.
+"""
+
+from __future__ import annotations
+
+from repro.discordsim.app import App
+from repro.discordsim.channels import ForumChannel, ForumPost
+from repro.discordsim.gateway import Gateway, MessageEvent
+from repro.discordsim.models import Attachment as DiscordAttachment
+from repro.discordsim.models import Message
+from repro.discordsim.server import Server
+from repro.mail.gmail import GmailAccount
+from repro.mail.message import EmailMessage
+
+
+class EmailBot(App):
+    """Fetches unread mailing-list mail and mirrors it into the forum."""
+
+    def __init__(
+        self,
+        server: Server,
+        gateway: Gateway,
+        *,
+        account: GmailAccount,
+        notification_channel: str = "petsc-users-notification",
+        forum_channel: str = "petsc-users-emails",
+    ) -> None:
+        super().__init__(name="petsc-email-bot", server=server, gateway=gateway)
+        self.account = account
+        self.forum: ForumChannel = server.forum_channel(forum_channel)
+        self.emails_mirrored = 0
+        self.listen(notification_channel, self._on_notification)
+
+    # ------------------------------------------------------------ event path
+    def _on_notification(self, event: MessageEvent) -> None:
+        if event.message.author.user_id == self.user.user_id:
+            return
+        self.sync()
+
+    def sync(self) -> int:
+        """Fetch unread mail and mirror it; returns the number mirrored."""
+        fetched = self.account.fetch_unread(mark_read=True)
+        for email in fetched:
+            self._mirror(email)
+        self.emails_mirrored += len(fetched)
+        return len(fetched)
+
+    def _mirror(self, email: EmailMessage) -> ForumPost:
+        content = f"**From:** {email.sender}\n\n{email.clean_body()}"
+        msg = Message(
+            author=self.user,
+            content=content,
+            attachments=[
+                DiscordAttachment(filename=a.filename, content=a.content)
+                for a in email.attachments
+            ],
+            tags={"email_message_id": email.message_id, "email_sender": email.sender},
+        )
+        subject = email.thread_subject
+        post = self.forum.find_post_by_title(subject)
+        if post is None:
+            return self.forum.create_post(subject, msg)
+        post.add(msg)
+        return post

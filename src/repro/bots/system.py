@@ -1,0 +1,111 @@
+"""Wiring of the complete Fig. 5 support topology.
+
+``build_support_system`` assembles: the petsc-users mailing list, the
+bot Gmail account subscribed to it, the Apps-Script poller, the Discord
+server with its private channels, the webhook, the email bot, and the
+chatbot backed by an augmented RAG pipeline.  The returned
+:class:`SupportSystem` exposes the pieces plus high-level drivers for
+the typical event sequence (arcs 1–8 in the paper's figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bots.chatbot import DraftState, PetscChatbot
+from repro.bots.email_bot import EmailBot
+from repro.config import WorkflowConfig
+from repro.corpus.builder import CorpusBundle, build_default_corpus
+from repro.discordsim.channels import ForumPost
+from repro.discordsim.gateway import Gateway
+from repro.discordsim.models import User
+from repro.discordsim.server import DEVELOPER_ROLE, Server
+from repro.discordsim.webhook import Webhook
+from repro.history import InteractionStore
+from repro.mail.appsscript import AppsScriptPoller
+from repro.mail.gmail import GmailAccount
+from repro.mail.mailinglist import MailingList
+from repro.mail.message import EmailMessage
+from repro.pipeline.rag import build_rag_pipeline
+
+
+@dataclass
+class SupportSystem:
+    """All the moving parts of the paper's Fig. 5, assembled."""
+
+    bundle: CorpusBundle
+    mailing_list: MailingList
+    account: GmailAccount
+    poller: AppsScriptPoller
+    server: Server
+    gateway: Gateway
+    webhook: Webhook
+    email_bot: EmailBot
+    chatbot: PetscChatbot
+    store: InteractionStore
+
+    # ------------------------------------------------------------ drivers
+    def user_sends_email(self, sender: str, subject: str, body: str) -> EmailMessage:
+        """Arc 1: a user mails petsc-users."""
+        email = EmailMessage(sender=sender, subject=subject, body=body)
+        self.mailing_list.post(email)
+        return email
+
+    def poll(self) -> bool:
+        """Arcs 2–4: poller notices unread mail → webhook → email bot."""
+        return self.poller.tick()
+
+    def developer_replies(self, developer: User, post: ForumPost) -> DraftState:
+        """Arc 5: a developer invokes /reply on a mirrored post."""
+        return self.chatbot.invoke("reply", developer, post=post)
+
+    def find_post(self, subject: str) -> ForumPost | None:
+        return self.server.forum_channel("petsc-users-emails").find_post_by_title(subject)
+
+
+def build_support_system(
+    bundle: CorpusBundle | None = None,
+    config: WorkflowConfig | None = None,
+    *,
+    developers: tuple[str, ...] = ("barry", "junchao", "hong"),
+    mode: str = "rag+rerank",
+) -> SupportSystem:
+    """Assemble the full support topology over the (default) corpus."""
+    bundle = bundle or build_default_corpus()
+    config = config or WorkflowConfig()
+
+    bot_email = "petscbot@gmail.com"
+    mailing_list = MailingList("petsc-users", public_archive=True)
+    account = GmailAccount(bot_email, ignore_senders={bot_email})
+    mailing_list.subscribe(account.address, account.deliver)
+
+    gateway = Gateway()
+    server = Server(name="PETSc")
+    for dev in developers:
+        server.add_member(User(name=dev), DEVELOPER_ROLE)
+    notif = server.create_text_channel("petsc-users-notification", private=True)
+    server.create_forum_channel("petsc-users-emails", private=True)
+
+    webhook = Webhook(channel=notif, name="petsc-users-hook", gateway=gateway)
+    poller = AppsScriptPoller(account=account, webhook_post=webhook.execute)
+
+    email_bot = EmailBot(server, gateway, account=account)
+    store = InteractionStore()
+    pipeline = build_rag_pipeline(bundle, config, mode=mode)
+    chatbot = PetscChatbot(
+        server, gateway, pipeline=pipeline, mailing_list=mailing_list,
+        bot_email=bot_email, store=store,
+    )
+
+    return SupportSystem(
+        bundle=bundle,
+        mailing_list=mailing_list,
+        account=account,
+        poller=poller,
+        server=server,
+        gateway=gateway,
+        webhook=webhook,
+        email_bot=email_bot,
+        chatbot=chatbot,
+        store=store,
+    )

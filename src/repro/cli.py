@@ -1,0 +1,176 @@
+"""Command-line tools for the PETSc assistant stack.
+
+The paper (Section III): "For developers, we could even provide command
+line tools and integrated development environment (IDE) extensions to
+facilitate various use cases."  This module is that CLI:
+
+``python -m repro ask "question..."``
+    Answer one question through the selected pipeline mode.
+
+``python -m repro evaluate``
+    Run the 37-question benchmark for one mode and print the histogram.
+
+``python -m repro compare``
+    Run all three modes and print the Fig. 6 comparison panels.
+
+``python -m repro corpus --out DIR``
+    Write the synthetic PETSc docs tree to disk.
+
+``python -m repro casestudy {1,2}``
+    Reproduce one of the paper's case studies (Figs. 7–8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import RetrievalConfig, WorkflowConfig
+from repro.corpus import CorpusBuilder, build_default_corpus
+from repro.embeddings import EMBEDDING_MODEL_NAMES
+from repro.evaluation import (
+    BlindGrader,
+    compare_modes,
+    render_comparison,
+    render_score_histogram,
+    run_experiment,
+)
+from repro.evaluation.casestudies import CASE_STUDY_1_QID, CASE_STUDY_2_QID, run_case_study
+from repro.llm import CHAT_MODEL_NAMES
+from repro.pipeline import build_rag_pipeline
+from repro.retrieval import ManualPageKeywordSearch
+
+_MODES = ("baseline", "rag", "rag+rerank")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PETSc AI assistant reproduction — command line tools",
+    )
+    parser.add_argument(
+        "--model", default="gpt-4o-sim", choices=CHAT_MODEL_NAMES, help="chat model"
+    )
+    parser.add_argument(
+        "--embedding", default="petsc-embed-large", choices=EMBEDDING_MODEL_NAMES,
+        help="embedding model",
+    )
+    parser.add_argument(
+        "--mode", default="rag+rerank", choices=_MODES, help="pipeline mode"
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="disable the LLM latency simulation"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ask = sub.add_parser("ask", help="answer one question")
+    ask.add_argument("question", help="the question text")
+    ask.add_argument("--show-contexts", action="store_true")
+
+    sub.add_parser("evaluate", help="run the benchmark for --mode")
+    sub.add_parser("compare", help="run all three modes and print Fig. 6 panels")
+
+    corpus = sub.add_parser("corpus", help="write the docs tree to disk")
+    corpus.add_argument("--out", required=True, help="output directory")
+
+    case = sub.add_parser("casestudy", help="reproduce a paper case study")
+    case.add_argument("number", type=int, choices=(1, 2))
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> WorkflowConfig:
+    return WorkflowConfig(
+        chat_model=args.model,
+        retrieval=RetrievalConfig(embedding_model=args.embedding),
+        iterations_per_token=0 if args.fast else None,
+    )
+
+
+def _grader(bundle) -> BlindGrader:
+    keyword = ManualPageKeywordSearch(bundle)
+    return BlindGrader(
+        registry=bundle.registry, known_identifiers=keyword.known_identifiers()
+    )
+
+
+def cmd_ask(args: argparse.Namespace) -> int:
+    bundle = build_default_corpus()
+    pipeline = build_rag_pipeline(bundle, _config(args), mode=args.mode)
+    result = pipeline.answer(args.question)
+    print(result.answer)
+    if args.show_contexts and result.contexts:
+        print("\n-- contexts --", file=sys.stderr)
+        for c in result.contexts:
+            print(f"  {c.score:.3f}  {c.document.metadata.get('source')}", file=sys.stderr)
+    print(
+        f"\n[{result.mode} | {result.model} | rag {1000 * result.rag_seconds:.1f} ms | "
+        f"llm {1000 * result.llm_seconds:.1f} ms]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    bundle = build_default_corpus()
+    pipeline = build_rag_pipeline(bundle, _config(args), mode=args.mode)
+    run = run_experiment(pipeline, _grader(bundle))
+    print(render_score_histogram(run, title=f"{args.mode} ({args.model} + {args.embedding})"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    bundle = build_default_corpus()
+    grader = _grader(bundle)
+    cfg = _config(args)
+    runs = {
+        mode: run_experiment(build_rag_pipeline(bundle, cfg, mode=mode), grader)
+        for mode in _MODES
+    }
+    print(render_comparison(compare_modes(runs["baseline"], runs["rag"]),
+                            title="Fig. 6a — baseline vs RAG"))
+    print()
+    print(render_comparison(compare_modes(runs["baseline"], runs["rag+rerank"]),
+                            title="Fig. 6b — baseline vs reranking-enhanced RAG"))
+    print()
+    print(render_comparison(compare_modes(runs["rag"], runs["rag+rerank"]),
+                            title="Fig. 6c — RAG vs reranking-enhanced RAG"))
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    root = CorpusBuilder().write_tree(args.out)
+    n = sum(1 for _ in root.rglob("*.md"))
+    print(f"wrote {n} Markdown files under {root}")
+    return 0
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    bundle = build_default_corpus()
+    cfg = _config(args)
+    rag = build_rag_pipeline(bundle, cfg, mode="rag")
+    rerank = build_rag_pipeline(bundle, cfg, mode="rag+rerank")
+    qid = CASE_STUDY_1_QID if args.number == 1 else CASE_STUDY_2_QID
+    res = run_case_study(qid, rag, rerank, _grader(bundle))
+    print(f"Case Study {args.number} (paper Fig. {6 + args.number})")
+    print(res.render())
+    return 0
+
+
+_COMMANDS = {
+    "ask": cmd_ask,
+    "evaluate": cmd_evaluate,
+    "compare": cmd_compare,
+    "corpus": cmd_corpus,
+    "casestudy": cmd_casestudy,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

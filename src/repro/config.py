@@ -1,0 +1,51 @@
+"""Configuration for the augmented PETSc LLM workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RetrievalConfig:
+    """First-pass retrieval + reranking parameters (paper Fig. 4)."""
+
+    embedding_model: str = "petsc-embed-large"
+    first_pass_k: int = 8
+    final_l: int = 4
+    use_keyword_search: bool = True
+    use_rerank: bool = True
+    reranker: str = "flashrank-lite"
+    chunk_size: int = 800
+    chunk_overlap: int = 120
+    include_mail_archives: bool = False
+
+    def validate(self) -> None:
+        if self.first_pass_k <= 0:
+            raise ConfigurationError(f"first_pass_k must be positive, got {self.first_pass_k}")
+        if not 0 < self.final_l <= self.first_pass_k:
+            raise ConfigurationError(
+                f"final_l must be in (0, first_pass_k], got {self.final_l} with K={self.first_pass_k}"
+            )
+        if self.reranker not in ("flashrank-lite", "nvidia-sim"):
+            raise ConfigurationError(f"unknown reranker {self.reranker!r}")
+        if self.chunk_size <= 0 or not 0 <= self.chunk_overlap < self.chunk_size:
+            raise ConfigurationError(
+                f"invalid chunking: size={self.chunk_size}, overlap={self.chunk_overlap}"
+            )
+
+
+@dataclass
+class WorkflowConfig:
+    """End-to-end workflow configuration."""
+
+    chat_model: str = "gpt-4o-sim"
+    retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
+    #: Latency-burn override for the simulated model; None keeps the
+    #: persona default, 0 disables the burn (unit tests).
+    iterations_per_token: int | None = None
+    record_history: bool = True
+
+    def validate(self) -> None:
+        self.retrieval.validate()

@@ -1,0 +1,38 @@
+"""Synthetic PETSc knowledge base.
+
+The paper's RAG databases are built from the real PETSc documentation
+(Markdown processed by Sphinx).  This package provides a faithful,
+self-contained substitute: manual pages, users-manual chapters, FAQ
+entries, tutorials, and a synthetic ``petsc-users`` mailing-list archive,
+all generated deterministically and writable to an on-disk Markdown tree.
+
+Ground truth runs through :mod:`repro.corpus.facts`: every substantive
+sentence in the corpus that the evaluation relies on is a registered
+:class:`~repro.corpus.facts.Fact`, and misleading statements planted in
+mail threads are registered :class:`~repro.corpus.facts.Falsehood`
+objects.  The simulated LLM and the mechanical blind grader both resolve
+text against this registry, which is what makes the paper's rubric
+(Table I) mechanically checkable.
+"""
+
+from repro.corpus.facts import (
+    Fact,
+    Falsehood,
+    FactRegistry,
+    default_registry,
+)
+from repro.corpus.builder import CorpusBuilder, build_default_corpus
+from repro.corpus.model import FaqEntry, MailMessageSpec, MailThreadSpec, ManualPageSpec
+
+__all__ = [
+    "Fact",
+    "Falsehood",
+    "FactRegistry",
+    "default_registry",
+    "CorpusBuilder",
+    "build_default_corpus",
+    "FaqEntry",
+    "MailMessageSpec",
+    "MailThreadSpec",
+    "ManualPageSpec",
+]

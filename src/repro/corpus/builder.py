@@ -1,0 +1,225 @@
+"""Corpus assembly: render specs, write the Markdown tree, produce chunks.
+
+The builder is the single entry point the rest of the library uses:
+
+>>> corpus = build_default_corpus()
+>>> len(corpus.documents) > 50
+True
+
+It renders every spec against the fact registry, optionally writes the
+result to an on-disk tree shaped like the PETSc docs repository
+(``manualpages/``, ``manual/``, ``faq.md``, ``tutorials/``,
+``archives/petsc-users.jsonl``), and produces retrieval chunks tagged
+with the fact ids they assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.corpus.chapters import manual_chapters
+from repro.corpus.facts import FactRegistry, default_registry
+from repro.corpus.faq import faq_entries
+from repro.corpus.mailing_list import mail_threads
+from repro.corpus.manpages_ksp import ksp_function_pages, ksp_type_pages
+from repro.corpus.manpages_mat import mat_vec_pages
+from repro.corpus.manpages_misc import misc_pages
+from repro.corpus.manpages_pc import pc_pages
+from repro.corpus.model import ManualPageSpec
+from repro.corpus.tutorials import tutorial_pages
+from repro.documents import Document, MarkdownHeaderTextSplitter, RecursiveCharacterTextSplitter
+from repro.errors import CorpusError
+
+
+@dataclass
+class CorpusBundle:
+    """The fully rendered knowledge base.
+
+    Attributes
+    ----------
+    registry:
+        Ground-truth facts and falsehoods.
+    documents:
+        One :class:`Document` per source page (unchunked).
+    manual_page_names:
+        All manual-page identifiers, for PETSc-specific keyword search.
+    """
+
+    registry: FactRegistry
+    documents: list[Document] = field(default_factory=list)
+    manual_page_names: dict[str, Document] = field(default_factory=dict)
+
+    def by_type(self, doc_type: str) -> list[Document]:
+        return [d for d in self.documents if d.metadata.get("doc_type") == doc_type]
+
+    def official(self) -> list[Document]:
+        """The official knowledge base: everything except mail archives.
+
+        Mirrors the paper's distinction between the official (reviewed)
+        and unofficial knowledge bases; the default RAG database is built
+        from the official subset only.
+        """
+        return [d for d in self.documents if d.metadata.get("doc_type") != "mail_thread"]
+
+    def manual_page(self, name: str) -> Document | None:
+        return self.manual_page_names.get(name)
+
+
+class CorpusBuilder:
+    """Renders all corpus specs into documents and chunks."""
+
+    def __init__(self, registry: FactRegistry | None = None) -> None:
+        self.registry = registry or default_registry()
+
+    # ------------------------------------------------------------- rendering
+    def build(self) -> CorpusBundle:
+        bundle = CorpusBundle(registry=self.registry)
+
+        man_pages: list[ManualPageSpec] = []
+        man_pages += ksp_type_pages()
+        man_pages += ksp_function_pages()
+        man_pages += pc_pages()
+        man_pages += mat_vec_pages()
+        man_pages += misc_pages()
+
+        seen: set[str] = set()
+        for spec in man_pages:
+            if spec.name in seen:
+                raise CorpusError(f"duplicate manual page {spec.name!r}")
+            seen.add(spec.name)
+            doc = Document(
+                text=spec.render(self.registry),
+                metadata={
+                    "source": f"manualpages/{spec.name}.md",
+                    "doc_type": "manual_page",
+                    "title": spec.name,
+                    "level": spec.level,
+                },
+            )
+            bundle.documents.append(doc)
+            bundle.manual_page_names[spec.name] = doc
+
+        for chap in manual_chapters():
+            bundle.documents.append(Document(
+                text=chap.render(self.registry),
+                metadata={
+                    "source": f"manual/{chap.slug}.md",
+                    "doc_type": "manual_chapter",
+                    "title": chap.title,
+                },
+            ))
+
+        faq_md = ["# PETSc Frequently Asked Questions", ""]
+        for entry in faq_entries():
+            faq_md.append(entry.render(self.registry))
+        bundle.documents.append(Document(
+            text="\n".join(faq_md),
+            metadata={"source": "faq.md", "doc_type": "faq", "title": "PETSc FAQ"},
+        ))
+
+        for tut in tutorial_pages():
+            bundle.documents.append(Document(
+                text=tut.render(self.registry),
+                metadata={
+                    "source": f"tutorials/{tut.slug}.md",
+                    "doc_type": "tutorial",
+                    "title": tut.title,
+                },
+            ))
+
+        for thread in mail_threads():
+            bundle.documents.append(Document(
+                text=thread.render(self.registry),
+                metadata={
+                    "source": f"archives/petsc-users/{thread.slug}.md",
+                    "doc_type": "mail_thread",
+                    "title": thread.subject,
+                },
+            ))
+
+        return bundle
+
+    # ------------------------------------------------------------- disk tree
+    def write_tree(self, root: str | Path, bundle: CorpusBundle | None = None) -> Path:
+        """Write the corpus as a Markdown tree under ``root``."""
+        bundle = bundle or self.build()
+        rootp = Path(root)
+        for doc in bundle.documents:
+            path = rootp / str(doc.metadata["source"])
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(doc.text, encoding="utf-8")
+        return rootp
+
+
+def tag_chunks_with_facts(chunks: list[Document], registry: FactRegistry) -> list[Document]:
+    """Annotate each chunk with the fact/falsehood ids it asserts.
+
+    Tagging is derived from the text itself (not from the specs), so it
+    stays correct regardless of how the splitter cut the source pages.
+    """
+    tagged: list[Document] = []
+    for chunk in chunks:
+        fact_ids = sorted(f.fact_id for f in registry.facts_in(chunk.text))
+        false_ids = sorted(f.false_id for f in registry.falsehoods_in(chunk.text))
+        md = dict(chunk.metadata)
+        if fact_ids:
+            md["facts"] = ",".join(fact_ids)
+        if false_ids:
+            md["falsehoods"] = ",".join(false_ids)
+        tagged.append(Document(text=chunk.text, metadata=md))
+    return tagged
+
+
+def chunk_corpus(
+    bundle: CorpusBundle,
+    *,
+    include_mail: bool = False,
+    chunk_size: int = 800,
+    chunk_overlap: int = 120,
+) -> list[Document]:
+    """Split the corpus into tagged retrieval chunks.
+
+    Manual pages are small and semantically atomic — they stay whole
+    (splitting one puts its title chunk and its fact-bearing Notes chunk
+    in competition, and the title always wins the similarity contest
+    while telling the LLM nothing).  Long documents — users-manual
+    chapters, the FAQ, tutorials, mail threads — are first split on
+    Markdown headers (chunks carry a ``section`` path) and oversized
+    sections then go through the recursive character splitter, the same
+    two-stage scheme the paper's LangChain pipeline uses.
+    """
+    header_splitter = MarkdownHeaderTextSplitter(max_depth=2)
+    char_splitter = RecursiveCharacterTextSplitter(
+        chunk_size=chunk_size, chunk_overlap=chunk_overlap
+    )
+
+    docs = list(bundle.documents) if include_mail else bundle.official()
+    whole: list[Document] = []
+    to_split: list[Document] = []
+    for doc in docs:
+        if doc.metadata.get("doc_type") == "manual_page" and len(doc.text) <= 4 * chunk_size:
+            whole.append(doc)
+        else:
+            to_split.append(doc)
+    sectioned = header_splitter.split_documents(to_split)
+    split_chunks: list[Document] = []
+    for sec in sectioned:
+        pieces = char_splitter.split_text(sec.text)
+        section = str(sec.metadata.get("section", ""))
+        for i, piece in enumerate(pieces):
+            md = dict(sec.metadata)
+            md["chunk"] = f"{md.get('chunk', 0)}.{i}"
+            # Continuation chunks keep their section path as a heading —
+            # "Choosing a Krylov Method" is retrieval signal every piece
+            # of the section deserves.
+            if i > 0 and section and not piece.startswith(section):
+                piece = f"{section}\n\n{piece}"
+            split_chunks.append(Document(text=piece, metadata=md))
+    chunks = whole + split_chunks
+    return tag_chunks_with_facts(chunks, bundle.registry)
+
+
+def build_default_corpus() -> CorpusBundle:
+    """Build the default synthetic PETSc knowledge base."""
+    return CorpusBuilder().build()

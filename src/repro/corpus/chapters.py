@@ -1,0 +1,288 @@
+"""Users-manual chapters for the synthetic PETSc knowledge base.
+
+Chapters are deliberately long — they split into many chunks, so the
+facts buried in them (the KSPLSQR least-squares remark of case study 1,
+the ``-info`` preallocation paragraph of case study 2) compete with a
+large amount of surrounding prose during retrieval, reproducing the
+retrieval difficulty the paper observed.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import ChapterSpec
+
+
+def manual_chapters() -> list[ChapterSpec]:
+    chapters: list[ChapterSpec] = []
+
+    chapters.append(ChapterSpec(
+        slug="ksp",
+        title="KSP: Linear System Solvers",
+        intro=[
+            "The KSP component provides an easy-to-use interface to the combination of a "
+            "Krylov subspace iterative method and a preconditioner, or to a sequential or "
+            "parallel direct solver. {fact:ksp.abstraction}",
+            "KSP users can set various Krylov subspace options at runtime via the options "
+            "database (e.g., -ksp_type cg). KSP users can also set various preconditioning "
+            "options at runtime via the options database (e.g., -pc_type jacobi).",
+        ],
+        sections=[
+            ("## Using KSP", [
+                "To solve a linear system with KSP, one must first create a solver context: "
+                "KSPCreate(comm, &ksp). {fact:ksp.solve_sequence}",
+                "{fact:ksp.setoperators_amat_pmat} This flexibility allows, for instance, "
+                "preconditioning a matrix-free operator with a simplified assembled matrix.",
+                "```c\n"
+                "KSPCreate(PETSC_COMM_WORLD, &ksp);\n"
+                "KSPSetOperators(ksp, A, A);\n"
+                "KSPSetFromOptions(ksp);\n"
+                "KSPSolve(ksp, b, x);\n"
+                "KSPDestroy(&ksp);\n"
+                "```",
+                "{fact:ksp.reuse_solver}",
+            ]),
+            ("## Choosing a Krylov Method", [
+                "{fact:ksp.default_gmres} {fact:ksp.settype}",
+                "{fact:gmres.nonsymmetric} {fact:gmres.memory_grows}",
+                "{fact:cg.spd} {fact:cg.short_recurrence}",
+                "{fact:bcgs.nonsymmetric} {fact:bcgs.no_transpose}",
+                "{fact:minres.symmetric_indefinite} {fact:symmlq.symmetric}",
+                "For problems where the preconditioner varies between iterations — for "
+                "example when the preconditioner is itself an iterative method — use a "
+                "flexible method. {fact:fgmres.variable_pc}",
+            ]),
+            ("## Convergence Tests", [
+                "{fact:conv.defaults} {fact:conv.settolerances}",
+                "{fact:conv.default_test_norm} {fact:conv.true_residual_norm}",
+                "{fact:conv.reason} {fact:conv.reason_option}",
+                "{fact:conv.custom_test}",
+            ]),
+            ("## Convergence Monitoring", [
+                "{fact:conv.monitor}",
+                "{fact:conv.monitorset}",
+                "The option -ksp_monitor_singular_value additionally prints running estimates "
+                "of the extreme singular values of the preconditioned operator.",
+                "{fact:conv.iterations}",
+            ]),
+            ("## Initial Guess", [
+                "{fact:conv.initial_guess}",
+                "Supplying a good initial guess — for example the solution of the previous "
+                "time step — can substantially reduce iteration counts in transient "
+                "simulations.",
+            ]),
+            ("## Preconditioning within KSP", [
+                "{fact:pc.concept}",
+                "{fact:pc.default} {fact:pc.settype}",
+                "{fact:pc.side_default} {fact:fgmres.right_only}",
+                "Access the PC object with KSPGetPC(ksp, &pc) to configure it directly.",
+            ]),
+            ("## Solving Least Squares Problems", [
+                "{fact:ksplsqr.rectangular}",
+                "{fact:ksplsqr.normal_equiv} {fact:ksplsqr.no_invert}",
+                "{fact:ksplsqr.pc_normal}",
+                "{fact:cgne.normal}",
+            ]),
+            ("## Solving Singular Systems", [
+                "{fact:nullspace.set}",
+                "{fact:nullspace.constant}",
+                "{fact:nullspace.pc_care}",
+            ]),
+            ("## Matrix-Free Solvers", [
+                "{fact:mf.shell}",
+                "{fact:mf.pc_restriction}",
+                "{fact:mf.snes_fd}",
+            ]),
+            ("## Solvers for Extreme Scale", [
+                "{fact:perf.reductions_scaling}",
+                "{fact:pipecg.overlap} {fact:groppcg.variant}",
+                "{fact:pipelined.async} {fact:pipelined.stability}",
+                "{fact:ibcgs.reductions}",
+                "{fact:chebyshev.no_reductions}",
+            ]),
+            ("## Using Direct Solvers through KSP", [
+                "{fact:preonly.direct} {fact:preonly.check}",
+                "{fact:pclu.parallel}",
+            ]),
+            ("## Viewing Solver Configuration", [
+                "{fact:ksp.view_option}",
+                "{fact:options.help}",
+            ]),
+        ],
+    ))
+
+    chapters.append(ChapterSpec(
+        slug="pc",
+        title="PC: Preconditioners",
+        intro=[
+            "{fact:pc.concept} The KSP and PC components are separable: any preconditioner "
+            "may be combined with any Krylov method, subject to mathematical constraints "
+            "such as symmetry requirements.",
+        ],
+        sections=[
+            ("## Preconditioner Basics", [
+                "{fact:pc.settype} {fact:pc.default}",
+                "{fact:pcjacobi.diag}",
+                "{fact:pcbjacobi.blocks}",
+            ]),
+            ("## Factorization Preconditioners", [
+                "{fact:pcilu.levels}",
+                "{fact:pcilu.zeropivot}",
+                "PCICC preserves symmetry and is the appropriate incomplete factorization "
+                "for use with KSPCG.",
+            ]),
+            ("## Domain Decomposition", [
+                "{fact:pcasm.overlap}",
+                "Increasing overlap improves convergence at the price of more communication; "
+                "overlap 1 or 2 is typical.",
+            ]),
+            ("## Multigrid Preconditioners", [
+                "{fact:pcgamg.amg}",
+                "PCMG provides geometric multigrid when a mesh hierarchy is available; "
+                "PCGAMG constructs the hierarchy algebraically from the matrix graph.",
+                "{fact:chebyshev.no_reductions}",
+            ]),
+            ("## Block and Physics-Based Preconditioners", [
+                "{fact:pcfieldsplit.blocks}",
+                "{fact:mf.pc_restriction}",
+            ]),
+            ("## Choosing Preconditioner Side", [
+                "{fact:pc.side_default}",
+                "{fact:conv.true_residual_norm}",
+            ]),
+        ],
+    ))
+
+    chapters.append(ChapterSpec(
+        slug="mat",
+        title="Mat: Matrices",
+        intro=[
+            "PETSc matrices store the linear operators of discretized PDEs and other "
+            "systems. {fact:mat.aij_default}",
+        ],
+        sections=[
+            ("## Creating and Assembling Matrices", [
+                "{fact:mat.setvalues}",
+                "Entries may be inserted (INSERT_VALUES) or added (ADD_VALUES), but the two "
+                "modes cannot be mixed without an intervening flush assembly.",
+                "```c\n"
+                "MatCreate(PETSC_COMM_WORLD, &A);\n"
+                "MatSetSizes(A, PETSC_DECIDE, PETSC_DECIDE, n, n);\n"
+                "MatSetFromOptions(A);\n"
+                "MatSeqAIJSetPreallocation(A, 5, NULL);\n"
+                "MatSetValues(A, 1, &i, 1, &j, &v, INSERT_VALUES);\n"
+                "MatAssemblyBegin(A, MAT_FINAL_ASSEMBLY);\n"
+                "MatAssemblyEnd(A, MAT_FINAL_ASSEMBLY);\n"
+                "```",
+            ]),
+            ("## Preallocation of Memory", [
+                "{fact:mat.preallocation}",
+                "For parallel AIJ matrices, the diagonal and off-diagonal portions of the "
+                "local rows are preallocated separately with MatMPIAIJSetPreallocation().",
+                "{fact:mat.info_option} Look for lines reporting the number of mallocs used "
+                "during MatSetValues() — a nonzero count means the preallocation was "
+                "insufficient and assembly performance suffered.",
+            ]),
+            ("## Matrix Options", [
+                "{fact:mat.symmetric_option}",
+                "MAT_NEW_NONZERO_LOCATION_ERR converts accidental fill outside the "
+                "preallocated sparsity pattern into an error, which is the fastest way to "
+                "find missing preallocation entries.",
+            ]),
+            ("## Matrix-Free Matrices", [
+                "{fact:mf.shell}",
+                "{fact:mf.pc_restriction}",
+            ]),
+            ("## Null Spaces", [
+                "{fact:nullspace.set} {fact:nullspace.constant}",
+            ]),
+        ],
+    ))
+
+    chapters.append(ChapterSpec(
+        slug="getting_started",
+        title="Getting Started with PETSc",
+        intro=[
+            "PETSc, the Portable Extensible Toolkit for Scientific Computation, provides "
+            "data structures and solvers for scalable scientific applications, including "
+            "linear solvers (KSP), nonlinear solvers (SNES), and time integrators (TS).",
+        ],
+        sections=[
+            ("## Writing a First Program", [
+                "Every PETSc program begins with PetscInitialize() and ends with "
+                "PetscFinalize(); between them, objects are created, configured from the "
+                "options database, used, and destroyed.",
+                "{fact:options.database}",
+                "{fact:options.help}",
+            ]),
+            ("## The Options Database", [
+                "Nearly every solver parameter can be changed at runtime without "
+                "recompiling: -ksp_type, -pc_type, -ksp_rtol and thousands of others.",
+                "{fact:ksp.settype} {fact:pc.settype}",
+            ]),
+            ("## Error Handling and Debugging", [
+                "PETSc routines return a PetscErrorCode; wrapping calls in PetscCall() "
+                "propagates errors with a full stack trace.",
+                "The option -info prints verbose informational messages about object "
+                "lifecycle, communication, and assembly events, which is often the fastest "
+                "way to understand unexpected behavior.",
+            ]),
+            ("## Profiling Basics", [
+                "{fact:perf.logview}",
+                "{fact:perf.stages}",
+            ]),
+        ],
+    ))
+
+    chapters.append(ChapterSpec(
+        slug="profiling",
+        title="Profiling and Performance",
+        intro=[
+            "PETSc includes integrated profiling of time, floating-point performance, and "
+            "message passing activity for all operations.",
+        ],
+        sections=[
+            ("## Interpreting -log_view Output", [
+                "{fact:perf.logview}",
+                "The summary table lists, for each event such as MatMult and KSPSolve, the "
+                "time, flop rate, message counts, and reduction counts, broken down by stage.",
+                "{fact:perf.stages}",
+            ]),
+            ("## Scalability Considerations", [
+                "{fact:perf.reductions_scaling}",
+                "{fact:pipecg.overlap}",
+                "{fact:chebyshev.no_reductions}",
+                "Communication-avoiding and pipelined methods trade extra local computation "
+                "(and occasionally numerical robustness) for fewer or overlapped global "
+                "synchronizations. {fact:pipelined.stability}",
+            ]),
+            ("## Memory Performance", [
+                "Sparse solvers are memory-bandwidth limited: a process achieves only a "
+                "small fraction of peak flops, and performance saturates once the memory "
+                "bus is saturated, typically with a few cores per socket.",
+                "{fact:mat.preallocation}",
+            ]),
+        ],
+    ))
+
+    chapters.append(ChapterSpec(
+        slug="snes",
+        title="SNES: Nonlinear Solvers",
+        intro=[
+            "SNES provides Newton-type and other nonlinear solvers built on KSP for the "
+            "inner linear solves.",
+        ],
+        sections=[
+            ("## Newton's Method", [
+                "Each Newton step solves a linear system with the Jacobian; all KSP and PC "
+                "options apply to that inner solve with the same option names.",
+                "The inner linear solver tolerance can be managed adaptively with the "
+                "Eisenstat-Walker method via -snes_ksp_ew.",
+            ]),
+            ("## Jacobian-Free Newton-Krylov", [
+                "{fact:mf.snes_fd}",
+                "{fact:mf.pc_restriction}",
+            ]),
+        ],
+    ))
+
+    return chapters

@@ -1,0 +1,143 @@
+"""FAQ entries for the synthetic PETSc knowledge base."""
+
+from __future__ import annotations
+
+from repro.corpus.model import FaqEntry
+
+
+def faq_entries() -> list[FaqEntry]:
+    return [
+        FaqEntry(
+            slug="default-solver",
+            question="What solver does PETSc use by default?",
+            answer=[
+                "{fact:ksp.default_gmres}",
+                "{fact:pc.default}",
+            ],
+        ),
+        FaqEntry(
+            slug="change-solver",
+            question="How do I change the linear solver or preconditioner?",
+            answer=[
+                "{fact:ksp.settype} {fact:pc.settype}",
+                "No recompilation is necessary; the options database is read when "
+                "KSPSetFromOptions() runs.",
+            ],
+        ),
+        FaqEntry(
+            slug="diverged",
+            question="My linear solve fails with KSP_DIVERGED_ITS. What should I do?",
+            answer=[
+                "{fact:conv.reason}",
+                "First run with -ksp_monitor_true_residual and -ksp_converged_reason to see "
+                "the convergence history. Then try a stronger preconditioner (e.g. "
+                "-pc_type gamg for elliptic problems), verify the matrix assembly, and check "
+                "for a null space. {fact:nullspace.set}",
+            ],
+        ),
+        FaqEntry(
+            slug="slow-assembly",
+            question="Why is my matrix assembly extremely slow?",
+            answer=[
+                "Almost always this is missing preallocation. {fact:mat.preallocation}",
+                "{fact:mat.info_option}",
+            ],
+        ),
+        FaqEntry(
+            slug="direct-solver",
+            question="How do I use a direct solver instead of an iterative one?",
+            answer=[
+                "{fact:preonly.direct}",
+                "{fact:pclu.parallel}",
+            ],
+        ),
+        FaqEntry(
+            slug="cg-requirements",
+            question="When can I use the conjugate gradient method?",
+            answer=[
+                "{fact:cg.spd} {fact:cg.matrix_check}",
+                "{fact:cg.indefinite_fail}",
+            ],
+        ),
+        FaqEntry(
+            slug="residual-monitor",
+            question="How can I see the residual at every iteration?",
+            answer=["{fact:conv.monitor}", "{fact:conv.monitorset}"],
+        ),
+        FaqEntry(
+            slug="tolerances",
+            question="How do I tighten or loosen the solver tolerances?",
+            answer=["{fact:conv.settolerances}", "{fact:conv.defaults}"],
+        ),
+        FaqEntry(
+            slug="nonzero-guess",
+            question="Does KSPSolve use the vector I pass in as an initial guess?",
+            answer=["{fact:conv.initial_guess}"],
+        ),
+        FaqEntry(
+            slug="memory-gmres",
+            question="Why does my solver run out of memory as iterations increase?",
+            answer=[
+                "{fact:gmres.memory_grows}",
+                "Either lower the restart (-ksp_gmres_restart), or switch to a short-recurrence "
+                "method. {fact:cg.short_recurrence} {fact:bcgs.nonsymmetric}",
+            ],
+        ),
+        FaqEntry(
+            slug="least-squares",
+            question="Can PETSc solve over- or under-determined (rectangular) systems?",
+            answer=[
+                "{fact:ksplsqr.rectangular}",
+                "{fact:ksplsqr.no_invert}",
+            ],
+        ),
+        FaqEntry(
+            slug="matrix-free",
+            question="Can I solve a system without ever storing the matrix?",
+            answer=[
+                "{fact:mf.shell}",
+                "{fact:mf.pc_restriction}",
+            ],
+        ),
+        FaqEntry(
+            slug="performance-report",
+            question="How do I get a performance/profiling report?",
+            answer=["{fact:perf.logview}", "{fact:perf.stages}"],
+        ),
+        FaqEntry(
+            slug="singular-system",
+            question="How do I solve a singular system (e.g. pure Neumann boundary conditions)?",
+            answer=[
+                "{fact:nullspace.set}",
+                "{fact:nullspace.constant}",
+                "{fact:nullspace.pc_care}",
+            ],
+        ),
+        FaqEntry(
+            slug="pc-side",
+            question="What is the difference between left and right preconditioning?",
+            answer=[
+                "{fact:pc.side_default}",
+                "{fact:conv.true_residual_norm}",
+                "{fact:fgmres.right_only}",
+            ],
+        ),
+        FaqEntry(
+            slug="scaling-reductions",
+            question="My Krylov solver stops scaling beyond a few thousand ranks. Why?",
+            answer=[
+                "{fact:perf.reductions_scaling}",
+                "{fact:pipecg.overlap} {fact:pipelined.async}",
+            ],
+        ),
+        FaqEntry(
+            slug="zero-pivot",
+            question="ILU fails with a zero pivot error. How do I fix it?",
+            answer=["{fact:pcilu.zeropivot}", "{fact:pcilu.levels}"],
+        ),
+        FaqEntry(
+            slug="which-options",
+            question="How do I find out which options apply to my program?",
+            answer=["{fact:options.help}", "{fact:ksp.view_option}"],
+        ),
+    ]

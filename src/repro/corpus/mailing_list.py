@@ -1,0 +1,457 @@
+"""Synthetic petsc-users mailing-list archive.
+
+The paper's RAG databases are built from documentation only (the authors
+explicitly did not index the mailing-list archives yet), so the builder
+keeps these threads out of the default RAG database.  They exist for two
+purposes:
+
+1. The Discord/email workflow simulation (:mod:`repro.bots`) needs a
+   realistic stream of user questions.
+2. An ablation benchmark indexes them *with* the documentation to
+   measure what raw, unvetted archive content does to answer quality —
+   several threads contain registered falsehoods (a user's misconception,
+   corrected later in the thread), which is precisely the noise the paper
+   warns about.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import MailMessageSpec, MailThreadSpec
+
+
+def mail_threads() -> list[MailThreadSpec]:
+    threads: list[MailThreadSpec] = []
+
+    threads.append(MailThreadSpec(
+        slug="gmres-memory",
+        subject="GMRES runs out of memory on large problem",
+        messages=[
+            MailMessageSpec(
+                sender="user.aldridge@university.edu",
+                body=[
+                    "Hi all, we are solving a convection-diffusion system with about 40M "
+                    "unknowns and the solver gets killed by the OOM killer after a few "
+                    "hundred iterations. We use the defaults. Is PETSc leaking memory?",
+                    "I thought Krylov methods only need a handful of vectors. "
+                    "{false:gmres_constant_memory}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "No leak — that is GMRES semantics. {fact:gmres.memory_grows}",
+                    "{fact:gmres.restart_option} Or switch to BiCGStab which uses a few "
+                    "vectors total. {fact:bcgs.nonsymmetric}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="user.aldridge@university.edu",
+                body=["Restarting at 30 fixed it, thanks! We'll also compare -ksp_type bcgs."],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="cg-wrong-matrix",
+        subject="CG diverges on my system",
+        messages=[
+            MailMessageSpec(
+                sender="grad.student@lab.org",
+                body=[
+                    "I'm using -ksp_type cg on the matrix from an upwinded finite volume "
+                    "discretization and it diverges after 12 iterations. "
+                    "{false:cg_nonsymmetric} — at least that's what a colleague told me, "
+                    "so I'm confused why it fails.",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.c@petsc.dev",
+                body=[
+                    "Your colleague is mistaken. {fact:cg.spd} Upwinding makes the operator "
+                    "nonsymmetric, so CG is not applicable. {fact:cg.indefinite_fail}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="rectangular-confusion",
+        subject="Solving rectangular system — convert to square first?",
+        messages=[
+            MailMessageSpec(
+                sender="postdoc.ming@institute.edu",
+                body=[
+                    "We have an overdetermined system from data assimilation (more equations "
+                    "than unknowns). A forum post said: {false:lsqr_square_only} Is forming "
+                    "A^T A myself really the recommended path?",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "Please do not form the normal equations yourself — that squares the "
+                    "condition number. {fact:ksplsqr.rectangular} {fact:ksplsqr.normal_equiv}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="slow-assembly-info",
+        subject="Matrix assembly takes 30 minutes",
+        messages=[
+            MailMessageSpec(
+                sender="engineer.patel@company.com",
+                body=[
+                    "Assembling our 8M x 8M sparse matrix takes half an hour while the solve "
+                    "is two minutes. Someone suggested a diagnostic flag but I can't find it: "
+                    "{false:info_imaginary_option}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.d@petsc.dev",
+                body=[
+                    "That option does not exist. {fact:mat.info_option}",
+                    "The underlying problem is certainly preallocation. {fact:mat.preallocation}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="tolerance-default",
+        subject="What is the default rtol?",
+        messages=[
+            MailMessageSpec(
+                sender="newuser.k@school.edu",
+                body=[
+                    "Quick question — the manual I found via a search engine says "
+                    "{false:rtol_default} but my runs behave like it is much looser.",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "That page must be third-party and wrong. {fact:conv.defaults} "
+                    "{fact:conv.settolerances}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="monitor-option-name",
+        subject="Option to print residuals?",
+        messages=[
+            MailMessageSpec(
+                sender="user.svoboda@tech.cz",
+                body=[
+                    "A blog post said {false:monitor_option} but PETSc errors with unknown "
+                    "option. What is the right flag?",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.c@petsc.dev",
+                body=["{fact:conv.monitor}"],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="fgmres-side",
+        subject="FGMRES ignores -ksp_pc_side left",
+        messages=[
+            MailMessageSpec(
+                sender="user.rahimi@hpc.center",
+                body=[
+                    "Setting -ksp_pc_side left with fgmres produces an error. I expected "
+                    "{false:fgmres_left}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.d@petsc.dev",
+                body=["{fact:fgmres.right_only} Use plain GMRES if you need left preconditioning."],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="pipecg-accuracy",
+        subject="pipecg gives slightly different answers",
+        messages=[
+            MailMessageSpec(
+                sender="user.liu@climate.gov",
+                body=[
+                    "We switched to -ksp_type pipecg for scaling and see small differences in "
+                    "the converged solution versus cg. A colleague claimed "
+                    "{false:pipecg_always_faster}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "Not identical. {fact:pipelined.stability} Also the benefit requires "
+                    "non-blocking collectives: {fact:pipelined.async}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="asm-vs-bjacobi",
+        subject="Is ASM the same as block Jacobi?",
+        messages=[
+            MailMessageSpec(
+                sender="student.wb@uni.edu",
+                body=["Our lecture notes say {false:asm_no_overlap} Is that right?"],
+            ),
+            MailMessageSpec(
+                sender="developer.c@petsc.dev",
+                body=[
+                    "Not quite. {fact:pcasm.overlap} With zero overlap it coincides with "
+                    "block Jacobi; the overlap is what buys faster convergence.",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="neumann-singular",
+        subject="Poisson with pure Neumann BCs stagnates",
+        messages=[
+            MailMessageSpec(
+                sender="user.okafor@geo.edu",
+                body=[
+                    "Our pressure Poisson solve with all-Neumann boundaries stagnates at "
+                    "rtol 1e-3. Online advice: {false:nullspace_rhs}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.d@petsc.dev",
+                body=[
+                    "PETSc has a first-class interface for exactly this. {fact:nullspace.set} "
+                    "{fact:nullspace.constant} Also make sure the right-hand side is "
+                    "consistent (orthogonal to the null space).",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="preonly-ilu",
+        subject="preonly with ilu gives garbage",
+        messages=[
+            MailMessageSpec(
+                sender="user.tanaka@auto.co.jp",
+                body=[
+                    "With -ksp_type preonly -pc_type ilu the 'solution' has residual 1e-1. "
+                    "A tutorial video said {false:preonly_iterates}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "The video is wrong. {fact:preonly.check} ILU is only approximate, so "
+                    "pair it with an actual Krylov method, or use -pc_type lu for a direct "
+                    "solve. {fact:preonly.direct}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="direct-solve-option",
+        subject="single option for a direct solve?",
+        messages=[
+            MailMessageSpec(
+                sender="newuser.q@startup.io",
+                body=["Is there something like {false:direct_option}"],
+            ),
+            MailMessageSpec(
+                sender="developer.c@petsc.dev",
+                body=["No such option. {fact:preonly.direct} In parallel: {fact:pclu.parallel}"],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="profile-option-name",
+        subject="how to profile KSPSolve?",
+        messages=[
+            MailMessageSpec(
+                sender="user.nowak@aero.pl",
+                body=["I tried {false:logview_name} — unknown option. What's the real one?"],
+            ),
+            MailMessageSpec(
+                sender="developer.d@petsc.dev",
+                body=["{fact:perf.logview} {fact:perf.stages}"],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="chebyshev-setup",
+        subject="Chebyshev diverges immediately",
+        messages=[
+            MailMessageSpec(
+                sender="user.ferrari@cfd.it",
+                body=[
+                    "Switching the multigrid smoother to chebyshev makes the solve diverge. "
+                    "Documentation found through a search engine claimed "
+                    "{false:chebyshev_no_bounds}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "It needs spectral bounds. {fact:chebyshev.bounds} The automatic "
+                    "estimation (-ksp_chebyshev_esteig) is the usual fix.",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="mumps-missing",
+        subject="parallel LU fails: external package missing",
+        messages=[
+            MailMessageSpec(
+                sender="user.garcia@bio.mx",
+                body=[
+                    "-pc_type lu on 16 ranks errors out asking for an external package. "
+                    "I thought {false:mumps_builtin}",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.c@petsc.dev",
+                body=[
+                    "{fact:pclu.parallel} Configure PETSc with --download-mumps "
+                    "--download-scalapack and select it with -pc_factor_mat_solver_type mumps.",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="initial-guess-ignored",
+        subject="KSP ignores my initial guess",
+        messages=[
+            MailMessageSpec(
+                sender="user.berg@met.no",
+                body=[
+                    "We warm-start each time step with the previous solution but iteration "
+                    "counts do not drop at all.",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.d@petsc.dev",
+                body=["Classic. {fact:conv.initial_guess}"],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="ilu-zero-pivot",
+        subject="PC failed due to zero pivot",
+        messages=[
+            MailMessageSpec(
+                sender="user.dubois@nuclear.fr",
+                body=[
+                    "KSP stops with KSP_DIVERGED_PC_FAILED and a message about a zero pivot "
+                    "in the ILU factorization. The matrix comes from a mixed discretization.",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "{fact:pcilu.zeropivot} For saddle-point structure also consider "
+                    "-pc_type fieldsplit. {fact:pcfieldsplit.blocks}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="transpose-solve",
+        subject="Solving A^T x = b with the same KSP?",
+        messages=[
+            MailMessageSpec(
+                sender="user.adjoint@optimization.edu",
+                body=[
+                    "For the adjoint equation in our optimization loop we need the transpose "
+                    "system. Do we have to assemble the transpose explicitly?",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.c@petsc.dev",
+                body=["No. {fact:ksp.solvetranspose}"],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="stokes-fieldsplit",
+        subject="Preconditioning Stokes saddle point system",
+        messages=[
+            MailMessageSpec(
+                sender="user.oceanmodel@whoi.edu",
+                body=[
+                    "ILU on our Stokes system fails (zero diagonal block). What's the "
+                    "recommended preconditioner for incompressible flow?",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.d@petsc.dev",
+                body=[
+                    "{fact:pcfieldsplit.blocks} Use "
+                    "-pc_fieldsplit_detect_saddle_point with a Schur complement, and a mass "
+                    "matrix preconditioner for the pressure block.",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="gamg-elasticity",
+        subject="GAMG slow on elasticity",
+        messages=[
+            MailMessageSpec(
+                sender="user.structure@civil.edu",
+                body=[
+                    "GAMG needs 200+ iterations on our linear elasticity model, while on a "
+                    "scalar Poisson problem it converges in 15.",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.b@petsc.dev",
+                body=[
+                    "Provide the rigid body modes as the near-null space with "
+                    "MatSetNearNullSpace(); without them smoothed aggregation cannot build a "
+                    "good coarse space for vector problems. {fact:pcgamg.amg}",
+                ],
+            ),
+        ],
+    ))
+
+    threads.append(MailThreadSpec(
+        slug="bicgstab-erratic",
+        subject="BiCGStab residual jumps around",
+        messages=[
+            MailMessageSpec(
+                sender="user.plasma@fusion.org",
+                body=[
+                    "The -ksp_monitor output for bcgs oscillates wildly before converging. "
+                    "Is something wrong?",
+                ],
+            ),
+            MailMessageSpec(
+                sender="developer.c@petsc.dev",
+                body=[
+                    "Normal for BiCGStab. {fact:bcgsl.ell} {fact:tfqmr.smooth} If you want a "
+                    "monotone residual, GMRES minimizes it at each step. {fact:gmres.nonsymmetric}",
+                ],
+            ),
+        ],
+    ))
+
+    return threads

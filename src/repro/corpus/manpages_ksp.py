@@ -1,0 +1,596 @@
+"""Manual pages for KSP solver types and KSP interface functions.
+
+Each page mirrors the structure of a real PETSc manual page.  Sentences
+that the evaluation depends on are spliced in from the fact registry via
+``{fact:id}`` placeholders (see :mod:`repro.corpus.model`).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import ManualPageSpec
+
+
+def ksp_type_pages() -> list[ManualPageSpec]:
+    """Manual pages for the Krylov solver implementations (KSPXXX types)."""
+    pages: list[ManualPageSpec] = []
+
+    pages.append(ManualPageSpec(
+        name="KSPGMRES",
+        summary="Implements the Generalized Minimal Residual method with restarts.",
+        synopsis='#include "petscksp.h"\nKSPSetType(ksp, KSPGMRES);',
+        level="beginner",
+        description=[
+            "{fact:gmres.nonsymmetric} The implementation restarts after a fixed number of "
+            "iterations to bound memory and orthogonalization cost.",
+            "{fact:ksp.default_gmres}",
+        ],
+        options=[
+            ("-ksp_gmres_restart <n>", "number of Krylov directions before restart (default 30)"),
+            ("-ksp_gmres_modifiedgramschmidt", "use modified Gram-Schmidt orthogonalization"),
+            ("-ksp_gmres_cgs_refinement_type <never,ifneeded,always>",
+             "iterative refinement for classical Gram-Schmidt"),
+            ("-ksp_gmres_preallocate", "preallocate all Krylov basis vectors up front"),
+        ],
+        notes=[
+            "{fact:gmres.restart_option}",
+            "{fact:gmres.memory_grows} {fact:gmres.restart_tradeoff}",
+            "{fact:gmres.modified_gs}",
+            "Left preconditioning is the default; with right preconditioning the true residual "
+            "norm is available at no extra cost.",
+        ],
+        see_also=["KSPFGMRES", "KSPLGMRES", "KSPDGMRES", "KSPBCGS", "KSPSetType", "KSPGMRESSetRestart"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPFGMRES",
+        summary="Implements the Flexible Generalized Minimal Residual method.",
+        synopsis='#include "petscksp.h"\nKSPSetType(ksp, KSPFGMRES);',
+        level="intermediate",
+        description=[
+            "{fact:fgmres.variable_pc} A typical use is an inner KSP solve as the "
+            "preconditioner via PCKSP, or a multigrid cycle whose strength varies.",
+        ],
+        options=[
+            ("-ksp_gmres_restart <n>", "number of Krylov directions before restart"),
+            ("-ksp_fgmres_modifypcnochange", "do not modify the preconditioner between iterations"),
+        ],
+        notes=[
+            "{fact:fgmres.right_only}",
+            "Flexible GMRES stores two sets of basis vectors, so it needs roughly twice the "
+            "memory of plain GMRES at the same restart.",
+        ],
+        see_also=["KSPGMRES", "KSPGCR", "PCKSP", "KSPSetPCSide"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPLGMRES",
+        summary="Augments restarted GMRES with error approximations from previous restart cycles.",
+        level="intermediate",
+        description=["{fact:lgmres.augment}"],
+        options=[
+            ("-ksp_lgmres_augment <k>", "number of error approximations to augment with (default 2)"),
+        ],
+        notes=[
+            "LGMRES often recovers much of the convergence lost to restarting while keeping "
+            "the memory bound of the restarted method.",
+        ],
+        see_also=["KSPGMRES", "KSPDGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPDGMRES",
+        summary="Deflated restarted GMRES.",
+        level="advanced",
+        description=["{fact:dgmres.deflation}"],
+        options=[
+            ("-ksp_dgmres_eigen <n>", "number of eigenvalues to deflate"),
+            ("-ksp_dgmres_max_eigen <n>", "maximum number of eigenvalues to deflate"),
+        ],
+        notes=[
+            "Deflation is most effective when a few isolated small eigenvalues dominate the "
+            "convergence behavior.",
+        ],
+        see_also=["KSPGMRES", "KSPLGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPCG",
+        summary="Implements the Preconditioned Conjugate Gradient method.",
+        synopsis='#include "petscksp.h"\nKSPSetType(ksp, KSPCG);',
+        level="beginner",
+        description=[
+            "{fact:cg.spd} For symmetric indefinite systems see KSPMINRES and KSPSYMMLQ.",
+            "{fact:cg.short_recurrence}",
+        ],
+        options=[
+            ("-ksp_cg_type <symmetric,hermitian>", "variant for complex matrices"),
+            ("-ksp_cg_single_reduction", "merge the two inner products into one reduction"),
+        ],
+        notes=[
+            "{fact:cg.matrix_check}",
+            "{fact:cg.indefinite_fail}",
+            "The preconditioner must also be symmetric positive definite; PCICC and PCJACOBI "
+            "preserve symmetry while PCILU generally does not.",
+        ],
+        see_also=["KSPMINRES", "KSPSYMMLQ", "KSPPIPECG", "KSPCGNE", "PCICC"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPMINRES",
+        summary="Implements the Minimum Residual method for symmetric indefinite matrices.",
+        level="intermediate",
+        description=["{fact:minres.symmetric_indefinite}"],
+        notes=[
+            "The preconditioner must be symmetric positive definite even though the matrix "
+            "itself may be indefinite.",
+        ],
+        see_also=["KSPCG", "KSPSYMMLQ"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSYMMLQ",
+        summary="Implements the SYMMLQ method for symmetric indefinite matrices.",
+        level="intermediate",
+        description=["{fact:symmlq.symmetric}"],
+        notes=[
+            "SYMMLQ minimizes the error in a different norm than MINRES minimizes the residual.",
+        ],
+        see_also=["KSPMINRES", "KSPCG"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPCGNE",
+        summary="Applies conjugate gradient to the normal equations without forming A^T A.",
+        level="advanced",
+        description=["{fact:cgne.normal}"],
+        notes=[
+            "The condition number of the normal equations is the square of that of A, so "
+            "convergence can be slow; KSPLSQR is usually preferred for least squares problems.",
+        ],
+        see_also=["KSPLSQR", "KSPCG"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPBCGS",
+        summary="Implements the stabilized BiConjugate Gradient method (BiCGStab).",
+        synopsis='#include "petscksp.h"\nKSPSetType(ksp, KSPBCGS);',
+        level="beginner",
+        description=[
+            "{fact:bcgs.nonsymmetric}",
+            "{fact:bcgs.no_transpose}",
+        ],
+        notes=[
+            "Convergence of BiCGStab can be erratic; KSPBCGSL smooths the residual history "
+            "with a higher-dimensional minimization.",
+        ],
+        see_also=["KSPBCGSL", "KSPIBCGS", "KSPTFQMR", "KSPGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPIBCGS",
+        summary="Implements an improved BiCGStab with a single reduction per iteration.",
+        level="advanced",
+        description=["{fact:ibcgs.reductions}"],
+        notes=[
+            "The reformulation changes floating-point behavior slightly; residual histories "
+            "will not match KSPBCGS bit for bit.",
+        ],
+        see_also=["KSPBCGS", "KSPPIPECG"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPBCGSL",
+        summary="Implements BiCGStab(L) with an L-dimensional minimization step.",
+        level="advanced",
+        description=["{fact:bcgsl.ell}"],
+        options=[("-ksp_bcgsl_ell <l>", "dimension of the minimization step (default 2)")],
+        see_also=["KSPBCGS", "KSPTFQMR"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPTFQMR",
+        summary="Implements the transpose-free Quasi-Minimal Residual method.",
+        level="intermediate",
+        description=["{fact:tfqmr.smooth}"],
+        see_also=["KSPBCGS", "KSPGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPLSQR",
+        summary="Implements the LSQR iterative method for least squares problems.",
+        synopsis='#include "petscksp.h"\nKSPSetType(ksp, KSPLSQR);',
+        level="intermediate",
+        description=[
+            "{fact:ksplsqr.rectangular}",
+            "{fact:ksplsqr.normal_equiv}",
+        ],
+        options=[
+            ("-ksp_lsqr_compute_standard_error", "compute the standard error estimate"),
+            ("-ksp_lsqr_monitor", "monitor the norm of the residual of the normal equations"),
+        ],
+        notes=[
+            "{fact:ksplsqr.no_invert}",
+            "{fact:ksplsqr.pc_normal}",
+        ],
+        see_also=["KSPCGNE", "KSPSetType", "PCNONE"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPRICHARDSON",
+        summary="Implements the preconditioned Richardson iterative method.",
+        level="beginner",
+        description=["{fact:richardson.relaxation}"],
+        options=[("-ksp_richardson_scale <s>", "damping factor (default 1.0)")],
+        notes=[
+            "With PCSOR this reproduces classical SOR iteration; with a multigrid "
+            "preconditioner and one iteration it is a single V-cycle.",
+        ],
+        see_also=["KSPCHEBYSHEV", "PCSOR"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPCHEBYSHEV",
+        summary="Implements the Chebyshev semi-iterative method.",
+        level="intermediate",
+        description=[
+            "{fact:chebyshev.bounds}",
+            "{fact:chebyshev.no_reductions}",
+        ],
+        options=[
+            ("-ksp_chebyshev_eigenvalues <emin,emax>", "eigenvalue bounds of the preconditioned operator"),
+            ("-ksp_chebyshev_esteig <a,b,c,d>", "estimate eigenvalues with a few Krylov iterations"),
+        ],
+        see_also=["KSPRICHARDSON", "PCMG", "KSPChebyshevSetEigenvalues"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPPREONLY",
+        summary="Applies only the preconditioner exactly once; performs no Krylov iterations.",
+        level="beginner",
+        description=[
+            "{fact:preonly.direct}",
+        ],
+        notes=[
+            "{fact:preonly.check}",
+            "KSPPREONLY is also the right choice for the inner solve of PCBJACOBI blocks when "
+            "an exact subdomain solve is wanted.",
+        ],
+        see_also=["PCLU", "PCCHOLESKY", "KSPSetType"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPGCR",
+        summary="Implements the Generalized Conjugate Residual method with flexible preconditioning.",
+        level="intermediate",
+        description=[
+            "KSPGCR, like KSPFGMRES, tolerates a preconditioner that changes from iteration "
+            "to iteration, and additionally allows the true residual to be monitored cheaply.",
+        ],
+        options=[("-ksp_gcr_restart <n>", "restart length (default 30)")],
+        see_also=["KSPFGMRES", "KSPGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPPIPECG",
+        summary="Implements pipelined conjugate gradient with a single non-blocking reduction.",
+        level="advanced",
+        description=[
+            "{fact:pipecg.overlap}",
+            "{fact:pipelined.async}",
+        ],
+        notes=[
+            "{fact:pipelined.stability}",
+        ],
+        see_also=["KSPCG", "KSPGROPPCG", "KSPPIPECR", "KSPIBCGS"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPGROPPCG",
+        summary="Implements Gropp's overlapped conjugate gradient variant.",
+        level="advanced",
+        description=["{fact:groppcg.variant}"],
+        see_also=["KSPPIPECG", "KSPCG"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPPIPECR",
+        summary="Implements pipelined conjugate residual for symmetric systems.",
+        level="advanced",
+        description=[
+            "KSPPIPECR overlaps the reduction with the matrix-vector product like KSPPIPECG "
+            "but minimizes the residual norm instead of the A-norm of the error.",
+        ],
+        see_also=["KSPPIPECG", "KSPCR"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPCR",
+        summary="Implements the Conjugate Residual method for symmetric systems.",
+        level="intermediate",
+        description=[
+            "The conjugate residual method minimizes the residual 2-norm for symmetric, "
+            "possibly indefinite matrices, at slightly higher cost per iteration than CG.",
+        ],
+        see_also=["KSPCG", "KSPMINRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPCGS",
+        summary="Implements the Conjugate Gradient Squared method.",
+        level="intermediate",
+        description=[
+            "CGS squares the BiCG polynomial, often converging in fewer iterations than "
+            "BiCG but with notoriously irregular residual behavior; KSPBCGS is usually "
+            "a better default.",
+        ],
+        see_also=["KSPBCGS", "KSPTFQMR"],
+    ))
+
+    return pages
+
+
+def ksp_function_pages() -> list[ManualPageSpec]:
+    """Manual pages for the KSP interface functions and options."""
+    pages: list[ManualPageSpec] = []
+
+    pages.append(ManualPageSpec(
+        name="KSPCreate",
+        summary="Creates a KSP context for solving linear systems.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPCreate(MPI_Comm comm, KSP *ksp);',
+        level="beginner",
+        description=[
+            "Creates the Krylov solver object on the given communicator. "
+            "{fact:ksp.abstraction}",
+        ],
+        notes=["The object must be destroyed with KSPDestroy() when no longer needed."],
+        see_also=["KSPSetUp", "KSPSolve", "KSPDestroy", "KSPSetOperators"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetType",
+        summary="Selects the Krylov method to be used.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSetType(KSP ksp, KSPType type);',
+        level="beginner",
+        description=[
+            "{fact:ksp.settype}",
+            "{fact:ksp.naming}",
+        ],
+        options=[("-ksp_type <method>", "gmres, cg, bcgs, lsqr, preonly, richardson, chebyshev, ...")],
+        see_also=["KSPGetType", "KSPCreate", "KSPGMRES", "KSPCG"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSolve",
+        summary="Solves a linear system.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSolve(KSP ksp, Vec b, Vec x);',
+        level="beginner",
+        description=[
+            "{fact:ksp.solve_sequence}",
+            "{fact:conv.initial_guess}",
+        ],
+        notes=[
+            "Call KSPGetConvergedReason() after the solve to determine success; the solution "
+            "is undefined when the reason is negative. {fact:conv.iterations}",
+            "{fact:ksp.reuse_solver}",
+        ],
+        see_also=["KSPCreate", "KSPSetOperators", "KSPGetConvergedReason", "KSPSolveTranspose"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSolveTranspose",
+        summary="Solves the transpose of a linear system.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSolveTranspose(KSP ksp, Vec b, Vec x);',
+        level="advanced",
+        description=["{fact:ksp.solvetranspose}"],
+        notes=["Not all Krylov methods and preconditioners support transpose application."],
+        see_also=["KSPSolve", "MatMultTranspose"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetOperators",
+        summary="Sets the matrix associated with the linear system and a (possibly different) one from which the preconditioner is built.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSetOperators(KSP ksp, Mat Amat, Mat Pmat);',
+        level="beginner",
+        description=[
+            "{fact:ksp.setoperators_amat_pmat}",
+            "A common pattern for matrix-free methods supplies a MatShell as Amat and an "
+            "assembled approximation as Pmat for the preconditioner.",
+        ],
+        notes=["{fact:ksp.reuse_solver}"],
+        see_also=["KSPSolve", "KSPGetOperators", "MatCreateShell"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetFromOptions",
+        summary="Sets KSP options from the options database.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSetFromOptions(KSP ksp);',
+        level="beginner",
+        description=[
+            "{fact:options.database}",
+        ],
+        options=[
+            ("-ksp_type <method>", "Krylov method"),
+            ("-ksp_rtol <rtol>", "relative decrease in residual norm"),
+            ("-ksp_monitor", "print the residual norm at each iteration"),
+            ("-ksp_view", "display solver configuration after solve"),
+        ],
+        notes=["Must be called before KSPSolve() for command line options to take effect."],
+        see_also=["KSPSetType", "KSPSetTolerances"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetTolerances",
+        summary="Sets the convergence tolerances for the iterative solver.",
+        synopsis=(
+            '#include "petscksp.h"\n'
+            "PetscErrorCode KSPSetTolerances(KSP ksp, PetscReal rtol, PetscReal abstol, "
+            "PetscReal dtol, PetscInt maxits);"
+        ),
+        level="beginner",
+        description=[
+            "{fact:conv.settolerances}",
+            "{fact:conv.defaults}",
+        ],
+        notes=[
+            "Use PETSC_DEFAULT (or PETSC_CURRENT) for any argument you do not wish to change.",
+            "{fact:conv.default_test_norm}",
+        ],
+        see_also=["KSPGetTolerances", "KSPSetConvergenceTest", "KSPConvergedDefault"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPGetConvergedReason",
+        summary="Gets the reason the KSP iteration was stopped.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPGetConvergedReason(KSP ksp, KSPConvergedReason *reason);',
+        level="intermediate",
+        description=[
+            "{fact:conv.reason}",
+        ],
+        options=[("-ksp_converged_reason", "print the reason after each solve")],
+        notes=[
+            "{fact:conv.reason_option}",
+            "Common failure reasons are KSP_DIVERGED_ITS (maximum iterations reached), "
+            "KSP_DIVERGED_DTOL (residual grew by the divergence tolerance), and "
+            "KSP_DIVERGED_PC_FAILED (the preconditioner failed, e.g. a zero pivot).",
+        ],
+        see_also=["KSPSolve", "KSPSetTolerances", "KSPGetIterationNumber"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPGetIterationNumber",
+        summary="Gets the current iteration number (or the total after a solve).",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPGetIterationNumber(KSP ksp, PetscInt *its);',
+        level="beginner",
+        description=["{fact:conv.iterations}"],
+        see_also=["KSPGetConvergedReason", "KSPMonitorSet"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPMonitorSet",
+        summary="Sets a function to be called at every iteration to monitor convergence.",
+        synopsis=(
+            '#include "petscksp.h"\n'
+            "PetscErrorCode KSPMonitorSet(KSP ksp, PetscErrorCode (*monitor)(KSP, PetscInt, PetscReal, void *), "
+            "void *ctx, PetscErrorCode (*destroy)(void **));"
+        ),
+        level="intermediate",
+        description=[
+            "{fact:conv.monitorset}",
+            "{fact:conv.monitor}",
+        ],
+        notes=[
+            "Several monitors can be set; they are called in the order registered.",
+        ],
+        see_also=["KSPMonitorCancel", "KSPGetIterationNumber"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetInitialGuessNonzero",
+        summary="Tells the iterative solver that the initial guess is nonzero.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSetInitialGuessNonzero(KSP ksp, PetscBool flg);',
+        level="beginner",
+        description=["{fact:conv.initial_guess}"],
+        notes=[
+            "If the solution vector passed to KSPSolve() is not zeroed and this flag is not "
+            "set, the solver zeroes it, silently discarding the intended guess.",
+        ],
+        see_also=["KSPSolve"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetPCSide",
+        summary="Sets the preconditioning side (left, right, or symmetric).",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSetPCSide(KSP ksp, PCSide side);',
+        level="intermediate",
+        description=[
+            "{fact:pc.side_default}",
+        ],
+        options=[("-ksp_pc_side <left,right,symmetric>", "preconditioner side")],
+        notes=[
+            "{fact:fgmres.right_only}",
+            "{fact:conv.true_residual_norm}",
+        ],
+        see_also=["KSPSetNormType", "KSPFGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetNormType",
+        summary="Sets the norm used by the convergence test.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPSetNormType(KSP ksp, KSPNormType normtype);',
+        level="advanced",
+        description=[
+            "{fact:conv.true_residual_norm}",
+            "KSP_NORM_NONE skips the norm computation entirely, useful when KSP is a smoother "
+            "inside multigrid and no convergence test is wanted.",
+        ],
+        options=[("-ksp_norm_type <none,preconditioned,unpreconditioned,natural>", "norm for convergence tests")],
+        see_also=["KSPSetConvergenceTest", "KSPSetPCSide"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPSetConvergenceTest",
+        summary="Sets the function to be used to determine convergence.",
+        synopsis=(
+            '#include "petscksp.h"\n'
+            "PetscErrorCode KSPSetConvergenceTest(KSP ksp, PetscErrorCode (*converge)(KSP, PetscInt, PetscReal, "
+            "KSPConvergedReason *, void *), void *ctx, PetscErrorCode (*destroy)(void *));"
+        ),
+        level="advanced",
+        description=["{fact:conv.custom_test}"],
+        notes=[
+            "{fact:conv.default_test_norm}",
+        ],
+        see_also=["KSPConvergedDefault", "KSPSetTolerances", "KSPSetNormType"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPGMRESSetRestart",
+        summary="Sets the number of search directions for GMRES and FGMRES before restart.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPGMRESSetRestart(KSP ksp, PetscInt restart);',
+        level="intermediate",
+        description=["{fact:gmres.restart_option}"],
+        notes=["{fact:gmres.restart_tradeoff}"],
+        see_also=["KSPGMRES", "KSPFGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPChebyshevSetEigenvalues",
+        summary="Sets the eigenvalue bounds for the Chebyshev iteration.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPChebyshevSetEigenvalues(KSP ksp, PetscReal emax, PetscReal emin);',
+        level="intermediate",
+        description=["{fact:chebyshev.bounds}"],
+        see_also=["KSPCHEBYSHEV"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPView",
+        summary="Prints the KSP data structure.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPView(KSP ksp, PetscViewer viewer);',
+        level="beginner",
+        description=["{fact:ksp.view_option}"],
+        options=[("-ksp_view", "print solver configuration at the end of KSPSolve()")],
+        see_also=["PCView", "PetscViewerASCIIOpen"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPDestroy",
+        summary="Destroys a KSP context.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPDestroy(KSP *ksp);',
+        level="beginner",
+        description=["Frees all memory associated with the Krylov solver object."],
+        see_also=["KSPCreate", "KSPSolve"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="KSPGetPC",
+        summary="Returns the preconditioner context associated with the KSP solver.",
+        synopsis='#include "petscksp.h"\nPetscErrorCode KSPGetPC(KSP ksp, PC *pc);',
+        level="beginner",
+        description=[
+            "Every KSP owns a PC object; retrieve it with KSPGetPC() to configure the "
+            "preconditioner programmatically, e.g. PCSetType(pc, PCJACOBI).",
+        ],
+        see_also=["PCSetType", "KSPSetPC"],
+    ))
+
+    return pages

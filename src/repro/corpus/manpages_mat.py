@@ -1,0 +1,254 @@
+"""Manual pages for Mat/Vec objects, options, and profiling infrastructure."""
+
+from __future__ import annotations
+
+from repro.corpus.model import ManualPageSpec
+
+
+def mat_vec_pages() -> list[ManualPageSpec]:
+    pages: list[ManualPageSpec] = []
+
+    pages.append(ManualPageSpec(
+        name="MatCreate",
+        summary="Creates a matrix where the type is determined later.",
+        synopsis='#include "petscmat.h"\nPetscErrorCode MatCreate(MPI_Comm comm, Mat *A);',
+        level="beginner",
+        description=[
+            "Creates an empty matrix object; the format is chosen with MatSetType() or "
+            "-mat_type, and the dimensions with MatSetSizes(). {fact:mat.aij_default}",
+        ],
+        see_also=["MatSetSizes", "MatSetType", "MatSetUp", "MatDestroy"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatSetValues",
+        summary="Inserts or adds a block of values into a matrix.",
+        synopsis=(
+            '#include "petscmat.h"\n'
+            "PetscErrorCode MatSetValues(Mat mat, PetscInt m, const PetscInt idxm[], PetscInt n, "
+            "const PetscInt idxn[], const PetscScalar v[], InsertMode addv);"
+        ),
+        level="beginner",
+        description=[
+            "{fact:mat.setvalues}",
+            "Values are cached until assembly; off-process entries are communicated during "
+            "MatAssemblyBegin()/MatAssemblyEnd().",
+        ],
+        notes=[
+            "{fact:mat.preallocation}",
+        ],
+        see_also=["MatAssemblyBegin", "MatAssemblyEnd", "MatSetValuesBlocked", "MatSeqAIJSetPreallocation"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatAssemblyBegin",
+        summary="Begins assembling the matrix; the matrix is unusable until MatAssemblyEnd().",
+        synopsis='#include "petscmat.h"\nPetscErrorCode MatAssemblyBegin(Mat mat, MatAssemblyType type);',
+        level="beginner",
+        description=[
+            "{fact:mat.setvalues}",
+            "Use MAT_FLUSH_ASSEMBLY between phases that mix ADD_VALUES and INSERT_VALUES, "
+            "and MAT_FINAL_ASSEMBLY before using the matrix.",
+        ],
+        see_also=["MatAssemblyEnd", "MatSetValues"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatSeqAIJSetPreallocation",
+        summary="Preallocates memory for a sequential sparse AIJ matrix.",
+        synopsis=(
+            '#include "petscmat.h"\n'
+            "PetscErrorCode MatSeqAIJSetPreallocation(Mat B, PetscInt nz, const PetscInt nnz[]);"
+        ),
+        level="intermediate",
+        description=[
+            "{fact:mat.preallocation}",
+        ],
+        notes=[
+            "{fact:mat.info_option}",
+            "Supplying an exact per-row count nnz[] eliminates all mallocs during assembly; "
+            "a decent uniform estimate nz is often sufficient.",
+        ],
+        see_also=["MatMPIAIJSetPreallocation", "MatCreateSeqAIJ", "MatSetValues"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatMPIAIJSetPreallocation",
+        summary="Preallocates memory for a parallel sparse AIJ matrix.",
+        synopsis=(
+            '#include "petscmat.h"\n'
+            "PetscErrorCode MatMPIAIJSetPreallocation(Mat B, PetscInt d_nz, const PetscInt d_nnz[], "
+            "PetscInt o_nz, const PetscInt o_nnz[]);"
+        ),
+        level="intermediate",
+        description=[
+            "The diagonal block (d_nz/d_nnz) and off-diagonal block (o_nz/o_nnz) of each "
+            "process's rows are preallocated separately.",
+            "{fact:mat.preallocation}",
+        ],
+        see_also=["MatSeqAIJSetPreallocation", "MatCreateAIJ"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatSetOption",
+        summary="Sets a parameter option for a matrix.",
+        synopsis='#include "petscmat.h"\nPetscErrorCode MatSetOption(Mat mat, MatOption op, PetscBool flg);',
+        level="intermediate",
+        description=[
+            "{fact:mat.symmetric_option}",
+            "Other commonly used options include MAT_NEW_NONZERO_LOCATION_ERR to catch "
+            "insertions outside the preallocated pattern.",
+        ],
+        see_also=["MatSetValues", "MatIsSymmetric"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatMult",
+        summary="Computes the matrix-vector product y = A x.",
+        synopsis='#include "petscmat.h"\nPetscErrorCode MatMult(Mat mat, Vec x, Vec y);',
+        level="beginner",
+        description=[
+            "The work-horse operation of every Krylov method; for MATAIJ it is a sparse "
+            "matrix-vector product overlapping communication of ghost values with "
+            "computation on the local block.",
+        ],
+        see_also=["MatMultTranspose", "MatMultAdd"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatCreateShell",
+        summary="Creates a matrix-free matrix object with user-defined operations.",
+        synopsis=(
+            '#include "petscmat.h"\n'
+            "PetscErrorCode MatCreateShell(MPI_Comm comm, PetscInt m, PetscInt n, PetscInt M, PetscInt N, "
+            "void *ctx, Mat *A);"
+        ),
+        level="advanced",
+        description=[
+            "{fact:mf.shell}",
+        ],
+        notes=[
+            "{fact:mf.pc_restriction}",
+        ],
+        see_also=["MatShellSetOperation", "MatShellGetContext", "PCSHELL", "KSPSetOperators"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatShellSetOperation",
+        summary="Allows user to set a matrix operation for a shell matrix.",
+        synopsis=(
+            '#include "petscmat.h"\n'
+            "PetscErrorCode MatShellSetOperation(Mat mat, MatOperation op, void (*g)(void));"
+        ),
+        level="advanced",
+        description=["{fact:mf.shell}"],
+        see_also=["MatCreateShell"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatSetNullSpace",
+        summary="Attaches a null space to a matrix, used by solvers of singular systems.",
+        synopsis='#include "petscmat.h"\nPetscErrorCode MatSetNullSpace(Mat mat, MatNullSpace nullsp);',
+        level="advanced",
+        description=[
+            "{fact:nullspace.set}",
+            "{fact:nullspace.constant}",
+        ],
+        notes=[
+            "{fact:nullspace.pc_care}",
+        ],
+        see_also=["MatNullSpaceCreate", "MatSetNearNullSpace", "KSPSolve"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="MatNullSpaceCreate",
+        summary="Creates a data structure describing the null space of a matrix.",
+        synopsis=(
+            '#include "petscmat.h"\n'
+            "PetscErrorCode MatNullSpaceCreate(MPI_Comm comm, PetscBool has_cnst, PetscInt n, "
+            "const Vec vecs[], MatNullSpace *SP);"
+        ),
+        level="advanced",
+        description=["{fact:nullspace.constant}"],
+        see_also=["MatSetNullSpace"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="VecCreate",
+        summary="Creates an empty vector object; the type can be set with VecSetType().",
+        synopsis='#include "petscvec.h"\nPetscErrorCode VecCreate(MPI_Comm comm, Vec *vec);',
+        level="beginner",
+        description=[
+            "Vectors store the right-hand side and solution of linear systems; parallel "
+            "layout follows the matrix row distribution set by MatSetSizes().",
+        ],
+        see_also=["VecSetSizes", "VecSetFromOptions", "VecDuplicate"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="VecNorm",
+        summary="Computes the vector norm.",
+        synopsis='#include "petscvec.h"\nPetscErrorCode VecNorm(Vec x, NormType type, PetscReal *val);',
+        level="beginner",
+        description=[
+            "Supports NORM_1, NORM_2 and NORM_INFINITY; on parallel vectors the reduction "
+            "requires a collective operation across all processes.",
+        ],
+        see_also=["VecDot", "VecNormalize"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PetscInitialize",
+        summary="Initializes the PETSc database and MPI.",
+        synopsis=(
+            '#include "petscsys.h"\n'
+            "PetscErrorCode PetscInitialize(int *argc, char ***args, const char file[], const char help[]);"
+        ),
+        level="beginner",
+        description=[
+            "Must be the first PETSc call in a program; it initializes MPI if needed and "
+            "reads the options database from the command line, the environment variable "
+            "PETSC_OPTIONS, and any -options_file.",
+        ],
+        options=[
+            ("-help", "print help for the options relevant to this run"),
+            ("-info", "print verbose informational messages"),
+            ("-log_view", "print performance summary at PetscFinalize()"),
+        ],
+        see_also=["PetscFinalize", "PetscOptionsGetInt"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PetscLogView",
+        summary="Prints a summary of flop and timing information to a viewer (-log_view).",
+        synopsis='#include "petscsys.h"\nPetscErrorCode PetscLogView(PetscViewer viewer);',
+        level="intermediate",
+        description=[
+            "{fact:perf.logview}",
+        ],
+        notes=[
+            "{fact:perf.stages}",
+        ],
+        see_also=["PetscLogStageRegister", "PetscLogStagePush", "PetscInitialize"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PetscLogStageRegister",
+        summary="Attaches a character string name to a profiling stage.",
+        synopsis='#include "petscsys.h"\nPetscErrorCode PetscLogStageRegister(const char sname[], PetscLogStage *stage);',
+        level="intermediate",
+        description=["{fact:perf.stages}"],
+        see_also=["PetscLogStagePush", "PetscLogStagePop", "PetscLogView"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PetscOptionsSetValue",
+        summary="Sets an option name-value pair in the options database.",
+        synopsis='#include "petscsys.h"\nPetscErrorCode PetscOptionsSetValue(PetscOptions options, const char name[], const char value[]);',
+        level="intermediate",
+        description=["{fact:options.database}"],
+        notes=["{fact:options.help}"],
+        see_also=["PetscOptionsGetInt", "PetscInitialize"],
+    ))
+
+    return pages

@@ -1,0 +1,249 @@
+"""Additional manual pages: the long tail of the API surface.
+
+These pages are real PETSc API (getters, setters, viewers, auxiliary
+objects) written in the same prose style as the core pages.  They are
+deliberate *ranking competition*: they share the solver vocabulary
+("residual", "tolerance", "iteration", "preconditioner") without
+asserting the benchmark's key facts, which is what makes the first-pass
+embedding ranking noisy — the situation the paper's reranking stage
+exists to fix ("the retriever quickly returns a few top results, which
+may include both relevant and tangential information").
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import ManualPageSpec
+
+
+def misc_pages() -> list[ManualPageSpec]:
+    specs: list[tuple[str, str, list[str], list[str]]] = [
+        # (name, summary, description paragraphs, see_also)
+        ("KSPGetType",
+         "Gets the KSP type as a string from the KSP object.",
+         ["Returns the name of the Krylov method currently configured on the solver, "
+          "for example gmres or cg."],
+         ["KSPSetType", "KSPView"]),
+        ("KSPSetUp",
+         "Sets up the internal data structures for the later use of an iterative solver.",
+         ["Called automatically by KSPSolve(), but calling it explicitly separates the "
+          "setup time of the solver and preconditioner from the iteration time in "
+          "performance profiles."],
+         ["KSPCreate", "KSPSolve"]),
+        ("KSPGetSolution",
+         "Gets the location of the solution for the linear system to be solved.",
+         ["Returns the vector where the approximate solution is stored; note that this "
+          "may not contain the final answer until KSPSolve() has completed."],
+         ["KSPGetRhs", "KSPSolve"]),
+        ("KSPGetRhs",
+         "Gets the right-hand-side vector for the linear system to be solved.",
+         ["Returns the vector b of the linear system A x = b associated with the solver."],
+         ["KSPGetSolution", "KSPSolve"]),
+        ("KSPGetResidualNorm",
+         "Gets the last computed residual norm of the iterative solver.",
+         ["Returns the residual norm from the most recent iteration; the norm type "
+          "(preconditioned or unpreconditioned) matches the solver's convergence test "
+          "configuration. Call after KSPSolve() or inside a monitor."],
+         ["KSPGetIterationNumber", "KSPMonitorSet"]),
+        ("KSPGetTolerances",
+         "Gets the relative, absolute, divergence, and maximum iteration tolerances.",
+         ["Returns the convergence parameters currently configured on the iterative "
+          "solver; any output argument may be NULL if that value is not needed."],
+         ["KSPSetTolerances"]),
+        ("KSPMonitorCancel",
+         "Clears all monitors for a KSP object.",
+         ["Removes every monitor previously set with KSPMonitorSet(), including the "
+          "ones installed from the options database."],
+         ["KSPMonitorSet"]),
+        ("KSPSetUpOnBlocks",
+         "Sets up the preconditioner for each block in a block Jacobi, ASM, or field-split preconditioner.",
+         ["Called automatically during KSPSolve(); exposed so that block setup time can "
+          "be attributed correctly in performance profiling."],
+         ["KSPSetUp", "PCBJACOBI"]),
+        ("KSPSetComputeEigenvalues",
+         "Sets a flag so that the extreme eigenvalues are calculated via a Lanczos or Arnoldi process as the linear system is solved.",
+         ["Eigenvalue estimates are a cheap by-product of Krylov iterations and help "
+          "diagnose preconditioner quality; view them with -ksp_view_eigenvalues."],
+         ["KSPComputeEigenvalues", "KSPCHEBYSHEV"]),
+        ("KSPComputeEigenvalues",
+         "Computes the extreme eigenvalues for the preconditioned operator using the Krylov iteration data.",
+         ["Requires KSPSetComputeEigenvalues() before the solve; the estimates improve "
+          "with the number of iterations performed."],
+         ["KSPSetComputeEigenvalues"]),
+        ("KSPSetDM",
+         "Sets the DM that may be used by some preconditioners to construct grid hierarchies.",
+         ["Associating a DM with the solver lets geometric multigrid (PCMG) build its "
+          "coarse levels automatically from the mesh hierarchy."],
+         ["PCMG", "KSPSetOperators"]),
+        ("KSPSetErrorIfNotConverged",
+         "Causes KSPSolve() to generate an error immediately if the solver fails to converge.",
+         ["By default a failed solve sets a negative converged reason without raising an "
+          "error; with this flag set, divergence aborts with a full stack trace, which "
+          "is convenient in batch jobs."],
+         ["KSPGetConvergedReason"]),
+        ("KSPSetReusePreconditioner",
+         "Reuses the current preconditioner for subsequent solves even if the matrix values change.",
+         ["Freezing the preconditioner trades convergence rate for setup cost, often a "
+          "large net win inside Newton iterations or time stepping when the matrix "
+          "changes slowly."],
+         ["KSPSetOperators", "PCSetReusePreconditioner"]),
+        ("KSPGetOperators",
+         "Gets the matrix associated with the linear system and a (possibly) different one used to construct the preconditioner.",
+         ["Returns the Amat and Pmat previously supplied with KSPSetOperators()."],
+         ["KSPSetOperators"]),
+        ("PCApply",
+         "Applies the preconditioner to a vector.",
+         ["Computes y = B x where B is the configured preconditioner; called internally "
+          "once or twice per Krylov iteration depending on the method and side."],
+         ["PCSetUp", "KSPSolve"]),
+        ("PCSetUp",
+         "Prepares for the use of a preconditioner.",
+         ["Performs the potentially expensive setup phase — factorization for PCILU and "
+          "PCLU, hierarchy construction for PCGAMG — separate from the per-iteration "
+          "application cost."],
+         ["PCApply", "KSPSetUp"]),
+        ("PCFactorSetLevels",
+         "Sets the number of levels of fill to use for ILU or ICC factorization.",
+         ["Equivalent to the option -pc_factor_levels; larger values produce a more "
+          "accurate but denser incomplete factorization."],
+         ["PCILU", "PCICC"]),
+        ("PCFactorSetShiftType",
+         "Sets the type of shift to add to the diagonal during numerical factorization.",
+         ["Equivalent to -pc_factor_shift_type; shifts rescue factorizations that "
+          "encounter zero or negative pivots."],
+         ["PCILU", "PCCHOLESKY"]),
+        ("PCView",
+         "Prints information about the preconditioner data structure.",
+         ["Displays the preconditioner type and its configuration; invoked as part of "
+          "KSPView() and by -ksp_view."],
+         ["KSPView"]),
+        ("VecDot",
+         "Computes the vector dot product.",
+         ["On parallel vectors the result requires a global reduction across all "
+          "processes, which at extreme scale becomes a synchronization point in Krylov "
+          "methods."],
+         ["VecNorm", "VecTDot"]),
+        ("VecAXPY",
+         "Computes y = alpha x + y.",
+         ["A local, embarrassingly parallel vector update used by every Krylov method; "
+          "runs at memory bandwidth."],
+         ["VecWAXPY", "VecScale"]),
+        ("VecScale",
+         "Scales a vector by multiplying each entry by a scalar.",
+         ["A purely local operation with no communication."],
+         ["VecAXPY"]),
+        ("VecSet",
+         "Sets all components of a vector to a single scalar value.",
+         ["Commonly used to zero the initial guess before an iterative solve."],
+         ["VecSetValues"]),
+        ("VecSetValues",
+         "Inserts or adds values into certain locations of a vector.",
+         ["Like MatSetValues(), insertions are cached and become visible only after "
+          "VecAssemblyBegin() and VecAssemblyEnd()."],
+         ["VecAssemblyBegin", "MatSetValues"]),
+        ("VecDuplicate",
+         "Creates a new vector of the same type as an existing vector.",
+         ["The standard way to obtain work vectors compatible with a given layout; "
+          "Krylov methods allocate their basis vectors this way."],
+         ["VecCreate"]),
+        ("MatNorm",
+         "Calculates various norms of a matrix.",
+         ["Supports NORM_1, NORM_FROBENIUS and NORM_INFINITY; used in convergence "
+          "diagnostics and scaling analyses."],
+         ["VecNorm"]),
+        ("MatTranspose",
+         "Computes the transpose of a matrix, either in-place or out-of-place.",
+         ["Explicit transposes are rarely needed by the solvers — KSPSolveTranspose() "
+          "and MatMultTranspose() operate without forming one."],
+         ["MatMultTranspose", "KSPSolveTranspose"]),
+        ("MatMultTranspose",
+         "Computes the matrix-vector product with the transpose, y = A^T x.",
+         ["Required by methods such as KSPLSQR and KSPBICG that iterate on the normal "
+          "or bi-orthogonal systems."],
+         ["MatMult", "KSPLSQR"]),
+        ("MatGetDiagonal",
+         "Gets the diagonal of a matrix as a vector.",
+         ["Used by PCJACOBI to build the diagonal scaling; a shell matrix must provide "
+          "MATOP_GET_DIAGONAL for Jacobi preconditioning to work matrix-free."],
+         ["PCJACOBI", "MatCreateShell"]),
+        ("MatGetRow",
+         "Gets a row of a sparse matrix (column indices and values).",
+         ["Intended for inspection rather than performance; iterating over all rows "
+          "this way is far slower than built-in matrix operations."],
+         ["MatGetDiagonal"]),
+        ("MatZeroRows",
+         "Zeros all entries of a set of rows of a matrix, optionally placing a value on the diagonal.",
+         ["The standard tool for imposing Dirichlet boundary conditions on an assembled "
+          "system without changing the nonzero structure."],
+         ["MatSetValues"]),
+        ("MatDuplicate",
+         "Duplicates a matrix including its nonzero structure and optionally its values.",
+         ["Useful for building a modified preconditioning matrix Pmat from the system "
+          "matrix Amat."],
+         ["MatCreate", "KSPSetOperators"]),
+        ("MatView",
+         "Displays a matrix in a viewer: ASCII, binary, or graphical form.",
+         ["Small matrices print readably with -mat_view; large matrices are better "
+          "viewed with -mat_view draw or dumped in binary."],
+         ["PetscViewerASCIIOpen"]),
+        ("PetscViewerASCIIOpen",
+         "Opens an ASCII file viewer for printing PETSc object information.",
+         ["Viewers decouple what is printed from where it goes — stdout, a file, or a "
+          "string buffer."],
+         ["KSPView", "MatView"]),
+        ("PetscPrintf",
+         "Prints to standard out, only from the first processor of the communicator.",
+         ["Avoids the interleaved output of naive printf in parallel programs."],
+         ["PetscViewerASCIIOpen"]),
+        ("PetscMalloc1",
+         "Allocates an array of memory aligned to PETSC_MEMALIGN.",
+         ["All PETSc internal allocations route through this interface, which is what "
+          "lets -malloc_view and -info report allocation statistics."],
+         ["PetscFree"]),
+        ("PetscFree",
+         "Frees memory allocated with PetscMalloc1().",
+         ["Freeing memory not obtained from PetscMalloc1() generates an error in "
+          "debugging builds."],
+         ["PetscMalloc1"]),
+        ("PetscOptionsGetInt",
+         "Gets the integer value for a particular option in the database.",
+         ["The programmatic counterpart of command-line option parsing; returns whether "
+          "the option was actually set."],
+         ["PetscOptionsSetValue"]),
+        ("SNESSolve",
+         "Solves a nonlinear system F(x) = 0.",
+         ["Each Newton step solves a linear system with the current Jacobian through an "
+          "inner KSP whose options use the same -ksp_ and -pc_ prefixes."],
+         ["SNESSetFunction", "KSPSolve"]),
+        ("SNESSetFunction",
+         "Sets the function evaluation routine and function vector for use by the SNES routines.",
+         ["The residual callback is the heart of a nonlinear solve; its output also "
+          "drives matrix-free Jacobian applications under -snes_mf."],
+         ["SNESSolve", "SNESSetJacobian"]),
+        ("SNESSetJacobian",
+         "Sets the function to compute the Jacobian as well as the location to store the matrix.",
+         ["Supplying an analytic Jacobian usually outperforms finite-difference "
+          "approximations; coloring-based finite differences are a practical middle "
+          "ground for sparse problems."],
+         ["SNESSetFunction"]),
+        ("TSSolve",
+         "Steps the requested number of timesteps of an ODE/DAE integrator.",
+         ["Implicit methods solve a nonlinear system each step through SNES, which in "
+          "turn uses KSP — so solver options compose across all three levels."],
+         ["SNESSolve", "TSSetType"]),
+        ("TSSetType",
+         "Sets the method to be used as the timestepping solver.",
+         ["Choices include backward Euler, Crank-Nicolson, theta methods, and "
+          "strong-stability-preserving Runge-Kutta schemes."],
+         ["TSSolve"]),
+    ]
+    pages = [
+        ManualPageSpec(
+            name=name,
+            summary=summary,
+            level="intermediate",
+            description=desc,
+            see_also=see_also,
+        )
+        for name, summary, desc, see_also in specs
+    ]
+    return pages

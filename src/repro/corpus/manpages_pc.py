@@ -1,0 +1,242 @@
+"""Manual pages for preconditioner (PC) types and PC interface functions."""
+
+from __future__ import annotations
+
+from repro.corpus.model import ManualPageSpec
+
+
+def pc_pages() -> list[ManualPageSpec]:
+    pages: list[ManualPageSpec] = []
+
+    pages.append(ManualPageSpec(
+        name="PCSetType",
+        summary="Builds the preconditioner for a particular implementation.",
+        synopsis='#include "petscpc.h"\nPetscErrorCode PCSetType(PC pc, PCType type);',
+        level="beginner",
+        description=["{fact:pc.settype}", "{fact:pc.concept}"],
+        options=[("-pc_type <type>", "jacobi, bjacobi, sor, ilu, icc, lu, cholesky, asm, gamg, mg, fieldsplit, none, shell, ...")],
+        see_also=["PCCreate", "KSPGetPC", "PCJACOBI", "PCILU", "PCGAMG"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCJACOBI",
+        summary="Jacobi (diagonal scaling) preconditioning.",
+        level="beginner",
+        description=["{fact:pcjacobi.diag}"],
+        options=[
+            ("-pc_jacobi_type <diagonal,rowmax,rowsum>", "how the diagonal is formed"),
+            ("-pc_jacobi_abs", "use the absolute values of the diagonal"),
+        ],
+        notes=[
+            "Jacobi preserves matrix symmetry, so it is safe with KSPCG on a symmetric "
+            "positive definite system.",
+        ],
+        see_also=["PCBJACOBI", "PCSOR", "PCNONE"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCBJACOBI",
+        summary="Block Jacobi preconditioning, each block solved independently.",
+        level="beginner",
+        description=["{fact:pcbjacobi.blocks}"],
+        options=[
+            ("-pc_bjacobi_blocks <n>", "total number of blocks"),
+            ("-sub_ksp_type <type>", "KSP used on each block (default preonly)"),
+            ("-sub_pc_type <type>", "PC used on each block (default ilu)"),
+        ],
+        notes=[
+            "{fact:pc.default}",
+            "Configure the inner solver with the -sub_ prefix, for example "
+            "-sub_pc_type lu for exact subdomain solves.",
+        ],
+        see_also=["PCASM", "PCJACOBI", "PCILU"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCASM",
+        summary="Restricted additive Schwarz method with overlapping subdomains.",
+        level="intermediate",
+        description=["{fact:pcasm.overlap}"],
+        options=[
+            ("-pc_asm_overlap <n>", "amount of subdomain overlap (default 1)"),
+            ("-pc_asm_type <basic,restrict,interpolate,none>", "Schwarz variant (default restrict)"),
+        ],
+        notes=[
+            "With zero overlap PCASM reduces to block Jacobi; increasing the overlap usually "
+            "reduces iteration counts at higher communication and memory cost.",
+        ],
+        see_also=["PCBJACOBI", "PCGASM", "PCASMSetOverlap"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCASMSetOverlap",
+        summary="Sets the overlap between subdomains for the additive Schwarz preconditioner.",
+        synopsis='#include "petscpc.h"\nPetscErrorCode PCASMSetOverlap(PC pc, PetscInt ovl);',
+        level="intermediate",
+        description=["{fact:pcasm.overlap}"],
+        see_also=["PCASM"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCILU",
+        summary="Incomplete LU factorization preconditioning.",
+        level="beginner",
+        description=[
+            "ILU computes an approximate factorization keeping limited fill, giving a strong "
+            "general-purpose single-process preconditioner for nonsymmetric systems.",
+        ],
+        options=[
+            ("-pc_factor_levels <k>", "number of levels of fill (default 0)"),
+            ("-pc_factor_shift_type <none,nonzero,positive_definite,inblocks>", "diagonal shift strategy on zero pivot"),
+            ("-pc_factor_reuse_ordering", "reuse the previous ordering on refactorization"),
+        ],
+        notes=[
+            "{fact:pcilu.zeropivot}",
+            "{fact:pcilu.levels}",
+            "ILU does not preserve symmetry; for symmetric positive definite systems use "
+            "PCICC, the incomplete Cholesky variant.",
+        ],
+        see_also=["PCICC", "PCLU", "PCBJACOBI"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCICC",
+        summary="Incomplete Cholesky factorization preconditioning for symmetric matrices.",
+        level="beginner",
+        description=[
+            "PCICC is the symmetric counterpart of PCILU, preserving symmetry so that it can "
+            "be used with KSPCG and KSPMINRES.",
+        ],
+        options=[("-pc_factor_levels <k>", "levels of fill (default 0)")],
+        see_also=["PCILU", "PCCHOLESKY", "KSPCG"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCLU",
+        summary="Direct solve via (sparse) LU factorization used as a preconditioner.",
+        level="beginner",
+        description=[
+            "{fact:preonly.direct}",
+        ],
+        options=[
+            ("-pc_factor_mat_solver_type <petsc,mumps,superlu_dist,umfpack>", "factorization package"),
+            ("-pc_factor_mat_ordering_type <nd,rcm,qmd,natural>", "fill-reducing ordering"),
+        ],
+        notes=[
+            "{fact:pclu.parallel}",
+        ],
+        see_also=["PCCHOLESKY", "PCILU", "KSPPREONLY"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCCHOLESKY",
+        summary="Direct solve via Cholesky factorization for symmetric positive definite systems.",
+        level="beginner",
+        description=[
+            "Cholesky factorization halves the work and storage of LU for symmetric positive "
+            "definite matrices; in parallel it requires MUMPS or another external package.",
+        ],
+        see_also=["PCLU", "PCICC", "KSPPREONLY"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCSOR",
+        summary="(S)SOR — successive over-relaxation preconditioning.",
+        level="beginner",
+        description=["{fact:pcsor.gpu}"],
+        options=[
+            ("-pc_sor_omega <omega>", "relaxation factor (default 1.0)"),
+            ("-pc_sor_its <its>", "number of inner SOR iterations"),
+            ("-pc_sor_symmetric", "use symmetric SOR (SSOR)"),
+        ],
+        see_also=["PCJACOBI", "KSPRICHARDSON"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCGAMG",
+        summary="Geometric-algebraic multigrid preconditioning.",
+        level="intermediate",
+        description=["{fact:pcgamg.amg}"],
+        options=[
+            ("-pc_gamg_type <agg,classical,geo>", "aggregation strategy (default agg)"),
+            ("-pc_gamg_threshold <t>", "drop tolerance for graph edges during coarsening"),
+            ("-pc_gamg_agg_nsmooths <n>", "number of smoothing steps for smoothed aggregation"),
+        ],
+        notes=[
+            "GAMG's default smoother is Chebyshev with Jacobi, chosen because "
+            "{fact:chebyshev.no_reductions}",
+            "For elasticity, provide the near-null space (rigid body modes) with "
+            "MatSetNearNullSpace() to dramatically improve convergence.",
+        ],
+        see_also=["PCMG", "PCHYPRE", "MatSetNearNullSpace", "KSPCHEBYSHEV"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCMG",
+        summary="Geometric multigrid preconditioning.",
+        level="intermediate",
+        description=[
+            "PCMG implements V-, W- and full-multigrid cycles over a user-provided grid "
+            "hierarchy with configurable smoothers on each level.",
+        ],
+        options=[
+            ("-pc_mg_levels <n>", "number of levels"),
+            ("-pc_mg_cycle_type <v,w>", "cycle type"),
+            ("-mg_levels_ksp_type <type>", "smoother KSP on the levels (default chebyshev)"),
+        ],
+        see_also=["PCGAMG", "KSPCHEBYSHEV"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCFIELDSPLIT",
+        summary="Preconditioners built from splittings of the problem's fields.",
+        level="intermediate",
+        description=["{fact:pcfieldsplit.blocks}"],
+        options=[
+            ("-pc_fieldsplit_type <additive,multiplicative,symmetric_multiplicative,schur>", "composition"),
+            ("-pc_fieldsplit_detect_saddle_point", "detect a zero diagonal block and use a Schur complement"),
+            ("-fieldsplit_<name>_ksp_type <type>", "solver for each split"),
+        ],
+        notes=[
+            "For Stokes-like saddle-point systems, the Schur complement variant with a "
+            "pressure mass-matrix preconditioner is the standard approach.",
+        ],
+        see_also=["PCCOMPOSITE", "MatNest", "KSPFGMRES"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCNONE",
+        summary="No preconditioning (the identity operator).",
+        level="beginner",
+        description=["{fact:pcnone.identity}"],
+        see_also=["PCSetType", "PCSHELL"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCSHELL",
+        summary="Creates a user-defined preconditioner.",
+        level="advanced",
+        description=[
+            "PCSHELL calls back into user code via PCShellSetApply(), allowing an arbitrary "
+            "operation — for instance a physics-based approximate inverse — to serve as the "
+            "preconditioner.",
+        ],
+        notes=[
+            "{fact:mf.pc_restriction}",
+        ],
+        see_also=["PCShellSetApply", "MatCreateShell", "PCNONE"],
+    ))
+
+    pages.append(ManualPageSpec(
+        name="PCHYPRE",
+        summary="Interface to the hypre preconditioner package (BoomerAMG and others).",
+        level="intermediate",
+        description=[
+            "PCHYPRE exposes hypre's BoomerAMG algebraic multigrid, Euclid ILU, and "
+            "ParaSails sparse approximate inverse, selected with -pc_hypre_type.",
+        ],
+        options=[("-pc_hypre_type <boomeramg,euclid,parasails,pilut>", "hypre method")],
+        see_also=["PCGAMG", "PCMG"],
+    ))
+
+    return pages

@@ -1,0 +1,165 @@
+"""Structured records for synthetic corpus content and Markdown rendering.
+
+Corpus content is authored as structured specs rather than raw Markdown so
+that (a) every page has the same shape as a real PETSc manual page
+(Synopsis / Description / Options / Notes / See Also), and (b) ground-truth
+fact statements are spliced in by reference — a spec writes ``{fact:id}``
+and the builder resolves it against the :class:`~repro.corpus.facts.FactRegistry`,
+guaranteeing that the canonical sentence the grader looks for actually
+appears in the corpus text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.corpus.facts import FactRegistry
+from repro.errors import CorpusError
+
+_PLACEHOLDER_RE = re.compile(r"\{(fact|false):([a-z0-9_.]+)\}")
+
+
+def resolve_placeholders(text: str, registry: FactRegistry) -> str:
+    """Replace ``{fact:id}`` / ``{false:id}`` with the canonical statement."""
+
+    def _sub(m: re.Match[str]) -> str:
+        kind, ident = m.group(1), m.group(2)
+        if kind == "fact":
+            return registry.fact(ident).statement
+        if ident not in registry.falsehoods and f"false.{ident}" in registry.falsehoods:
+            ident = f"false.{ident}"
+        return registry.falsehood(ident).statement
+
+    return _PLACEHOLDER_RE.sub(_sub, text)
+
+
+@dataclass
+class ManualPageSpec:
+    """One PETSc-style manual page.
+
+    ``description``, ``notes`` paragraphs and option descriptions may embed
+    ``{fact:id}`` placeholders.
+    """
+
+    name: str
+    summary: str
+    synopsis: str = ""
+    level: str = "beginner"
+    description: list[str] = field(default_factory=list)
+    options: list[tuple[str, str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    see_also: list[str] = field(default_factory=list)
+    kind: str = "manual_page"
+
+    def render(self, registry: FactRegistry) -> str:
+        if not self.name:
+            raise CorpusError("manual page needs a name")
+        lines: list[str] = [f"# {self.name}", "", self.summary.strip(), ""]
+        if self.synopsis:
+            lines += ["## Synopsis", "", "```c", self.synopsis.strip(), "```", ""]
+        if self.description:
+            lines += ["## Description", ""]
+            for para in self.description:
+                lines += [resolve_placeholders(para.strip(), registry), ""]
+        if self.options:
+            lines += ["## Options Database Keys", ""]
+            for key, desc in self.options:
+                lines.append(f"- `{key}` — {resolve_placeholders(desc, registry)}")
+            lines.append("")
+        if self.notes:
+            lines += ["## Notes", ""]
+            for para in self.notes:
+                lines += [resolve_placeholders(para.strip(), registry), ""]
+        lines += [f"## Level", "", self.level, ""]
+        if self.see_also:
+            lines += ["## See Also", "", ", ".join(f"`{s}`" for s in self.see_also), ""]
+        return "\n".join(lines)
+
+
+@dataclass
+class ChapterSpec:
+    """A users-manual chapter: a title plus Markdown sections.
+
+    ``sections`` maps header path strings (``"## Convergence Tests"``) to
+    body paragraphs; bodies may embed fact placeholders.
+    """
+
+    slug: str
+    title: str
+    intro: list[str] = field(default_factory=list)
+    sections: list[tuple[str, list[str]]] = field(default_factory=list)
+    kind: str = "manual_chapter"
+
+    def render(self, registry: FactRegistry) -> str:
+        lines: list[str] = [f"# {self.title}", ""]
+        for para in self.intro:
+            lines += [resolve_placeholders(para.strip(), registry), ""]
+        for header, paras in self.sections:
+            lines += [header.strip(), ""]
+            for para in paras:
+                lines += [resolve_placeholders(para.strip(), registry), ""]
+        return "\n".join(lines)
+
+
+@dataclass
+class FaqEntry:
+    """One FAQ question/answer; the answer may embed fact placeholders."""
+
+    slug: str
+    question: str
+    answer: list[str]
+
+    def render(self, registry: FactRegistry) -> str:
+        lines = [f"## {self.question}", ""]
+        for para in self.answer:
+            lines += [resolve_placeholders(para.strip(), registry), ""]
+        return "\n".join(lines)
+
+
+@dataclass
+class TutorialSpec:
+    """A tutorial page with prose and code blocks."""
+
+    slug: str
+    title: str
+    body: list[str] = field(default_factory=list)
+    kind: str = "tutorial"
+
+    def render(self, registry: FactRegistry) -> str:
+        lines = [f"# {self.title}", ""]
+        for para in self.body:
+            lines += [resolve_placeholders(para.strip(), registry), ""]
+        return "\n".join(lines)
+
+
+@dataclass
+class MailMessageSpec:
+    """One message in a synthetic mailing-list thread."""
+
+    sender: str
+    body: list[str]
+
+    def render(self, registry: FactRegistry) -> str:
+        return "\n\n".join(resolve_placeholders(p.strip(), registry) for p in self.body)
+
+
+@dataclass
+class MailThreadSpec:
+    """A synthetic petsc-users thread (subject + message sequence).
+
+    Threads are retrieval *noise* by design: they are topically close to
+    benchmark questions but informal, sometimes containing registered
+    falsehoods (a user's misconception that a developer later corrects).
+    """
+
+    slug: str
+    subject: str
+    messages: list[MailMessageSpec] = field(default_factory=list)
+    kind: str = "mail_thread"
+
+    def render(self, registry: FactRegistry) -> str:
+        lines = [f"# [petsc-users] {self.subject}", ""]
+        for msg in self.messages:
+            lines += [f"**From: {msg.sender}**", "", msg.render(registry), "", "---", ""]
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Tutorial pages for the synthetic PETSc knowledge base."""
+
+from __future__ import annotations
+
+from repro.corpus.model import TutorialSpec
+
+
+def tutorial_pages() -> list[TutorialSpec]:
+    return [
+        TutorialSpec(
+            slug="ex1-first-solve",
+            title="Tutorial: Solving Your First Linear System",
+            body=[
+                "This tutorial solves a one-dimensional Laplacian with the default solver. "
+                "{fact:ksp.solve_sequence}",
+                "```c\n"
+                "#include <petscksp.h>\n"
+                "int main(int argc, char **argv) {\n"
+                "  Mat A; Vec x, b; KSP ksp;\n"
+                "  PetscInitialize(&argc, &argv, NULL, NULL);\n"
+                "  /* ... assemble tridiagonal A and right-hand side b ... */\n"
+                "  KSPCreate(PETSC_COMM_WORLD, &ksp);\n"
+                "  KSPSetOperators(ksp, A, A);\n"
+                "  KSPSetFromOptions(ksp);\n"
+                "  KSPSolve(ksp, b, x);\n"
+                "  KSPDestroy(&ksp);\n"
+                "  PetscFinalize();\n"
+                "  return 0;\n"
+                "}\n"
+                "```",
+                "Run with -ksp_monitor to watch convergence and -ksp_view to inspect the "
+                "configuration. {fact:conv.monitor}",
+                "Experiment: try -ksp_type cg -pc_type icc for this symmetric positive "
+                "definite system. {fact:cg.spd}",
+            ],
+        ),
+        TutorialSpec(
+            slug="ex2-poisson",
+            title="Tutorial: A 2D Poisson Problem in Parallel",
+            body=[
+                "We discretize the Poisson equation with a five-point stencil and solve in "
+                "parallel. The default parallel preconditioner applies. {fact:pc.default}",
+                "Preallocate five nonzeros per row for the interior stencil. "
+                "{fact:mat.preallocation}",
+                "For larger meshes, algebraic multigrid scales far better than one-level "
+                "methods: -pc_type gamg. {fact:pcgamg.amg}",
+                "Measure performance with -log_view. {fact:perf.logview}",
+            ],
+        ),
+        TutorialSpec(
+            slug="ex3-convergence",
+            title="Tutorial: Controlling and Monitoring Convergence",
+            body=[
+                "{fact:conv.settolerances}",
+                "{fact:conv.monitor}",
+                "{fact:conv.reason}",
+                "A custom stopping criterion can replace the default test. "
+                "{fact:conv.custom_test}",
+            ],
+        ),
+        TutorialSpec(
+            slug="ex4-least-squares",
+            title="Tutorial: Least Squares Fitting with KSPLSQR",
+            body=[
+                "Fitting a model with more observations than parameters yields a rectangular "
+                "system. {fact:ksplsqr.rectangular}",
+                "```c\n"
+                "KSPSetType(ksp, KSPLSQR);\n"
+                "KSPSetOperators(ksp, A, A);  /* A is m x n with m > n */\n"
+                "KSPSolve(ksp, b, x);\n"
+                "```",
+                "{fact:ksplsqr.normal_equiv}",
+                "{fact:ksplsqr.pc_normal}",
+            ],
+        ),
+        TutorialSpec(
+            slug="ex5-matrix-free",
+            title="Tutorial: Matrix-Free Krylov Solves",
+            body=[
+                "{fact:mf.shell}",
+                "```c\n"
+                "MatCreateShell(PETSC_COMM_WORLD, n, n, N, N, ctx, &A);\n"
+                "MatShellSetOperation(A, MATOP_MULT, (void (*)(void))MyMult);\n"
+                "KSPSetOperators(ksp, A, A);\n"
+                "```",
+                "Choose a Krylov method that does not need the transpose. "
+                "{fact:bcgs.no_transpose}",
+                "{fact:mf.pc_restriction}",
+            ],
+        ),
+        TutorialSpec(
+            slug="ex6-scaling",
+            title="Tutorial: Strong Scaling a Krylov Solver",
+            body=[
+                "At scale, the dominant cost shifts from local flops to global reductions. "
+                "{fact:perf.reductions_scaling}",
+                "Try the pipelined variants: -ksp_type pipecg. {fact:pipecg.overlap}",
+                "{fact:pipelined.async}",
+                "Beware: {fact:pipelined.stability}",
+            ],
+        ),
+    ]

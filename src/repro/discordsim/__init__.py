@@ -1,0 +1,40 @@
+"""In-process Discord simulation (paper Section IV substrate).
+
+Models the Discord mechanics the paper's bots are built on: a server
+(guild) with text and forum channels, user/bot members with roles,
+webhooks bound to channels, messages with attachments and interactive
+buttons, slash commands, and a gateway that dispatches message events to
+registered apps.
+"""
+
+from repro.discordsim.models import (
+    Attachment,
+    Button,
+    ButtonStyle,
+    Message,
+    User,
+)
+from repro.discordsim.channels import ForumChannel, ForumPost, TextChannel
+from repro.discordsim.server import Permission, Role, Server
+from repro.discordsim.webhook import Webhook
+from repro.discordsim.gateway import Gateway, MessageEvent
+from repro.discordsim.app import App, SlashCommand
+
+__all__ = [
+    "Attachment",
+    "Button",
+    "ButtonStyle",
+    "Message",
+    "User",
+    "TextChannel",
+    "ForumChannel",
+    "ForumPost",
+    "Server",
+    "Role",
+    "Permission",
+    "Webhook",
+    "Gateway",
+    "MessageEvent",
+    "App",
+    "SlashCommand",
+]

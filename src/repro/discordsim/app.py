@@ -1,0 +1,63 @@
+"""Discord apps (bots): slash commands plus gateway event handling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.discordsim.gateway import Gateway, MessageEvent
+from repro.discordsim.models import User
+from repro.discordsim.server import Server
+from repro.errors import DiscordSimError
+
+CommandHandler = Callable[..., Any]
+
+
+@dataclass
+class SlashCommand:
+    name: str
+    description: str
+    handler: CommandHandler
+    invocations: int = 0
+
+    def invoke(self, invoker: User, **kwargs: Any) -> Any:
+        self.invocations += 1
+        return self.handler(invoker, **kwargs)
+
+
+@dataclass
+class App:
+    """A bot application installed on a server.
+
+    Subclasses (or composition users) register slash commands with
+    :meth:`command` and gateway listeners with :meth:`listen`.
+    """
+
+    name: str
+    server: Server
+    gateway: Gateway
+    user: User = field(init=False)
+    commands: dict[str, SlashCommand] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.user = User(name=self.name, bot=True)
+        self.server.add_member(self.user)
+
+    def command(self, name: str, description: str, handler: CommandHandler) -> SlashCommand:
+        if name in self.commands:
+            raise DiscordSimError(f"app {self.name} already has command /{name}")
+        cmd = SlashCommand(name=name, description=description, handler=handler)
+        self.commands[name] = cmd
+        return cmd
+
+    def invoke(self, command: str, invoker: User, **kwargs: Any) -> Any:
+        cmd = self.commands.get(command)
+        if cmd is None:
+            raise DiscordSimError(
+                f"app {self.name} has no command /{command}; "
+                f"available: {sorted(self.commands)}"
+            )
+        return cmd.invoke(invoker, **kwargs)
+
+    def listen(self, channel_name: str | None, listener: Callable[[MessageEvent], None]) -> None:
+        self.gateway.on_message(channel_name, listener)

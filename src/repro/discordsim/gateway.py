@@ -1,0 +1,51 @@
+"""Event gateway: dispatches channel messages to registered apps.
+
+Discord apps receive events over a gateway connection; here apps
+register a listener per channel (or a catch-all) and the gateway invokes
+them synchronously when a message is published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.discordsim.channels import TextChannel
+from repro.discordsim.models import Message
+from repro.errors import DiscordSimError
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    channel_name: str
+    message: Message
+
+
+Listener = Callable[[MessageEvent], None]
+
+
+@dataclass
+class Gateway:
+    """Synchronous event bus between channels and apps."""
+
+    _listeners: dict[str, list[Listener]] = field(default_factory=dict)
+    _catch_all: list[Listener] = field(default_factory=list)
+    events_dispatched: int = 0
+
+    def on_message(self, channel_name: str | None, listener: Listener) -> None:
+        """Register a listener; ``None`` channel means all channels."""
+        if channel_name is None:
+            self._catch_all.append(listener)
+        else:
+            self._listeners.setdefault(channel_name, []).append(listener)
+
+    def publish_message(self, channel: TextChannel, message: Message) -> None:
+        """Fan a message event out to the channel's listeners."""
+        if not isinstance(channel, TextChannel):
+            raise DiscordSimError("gateway events are only published for text channels")
+        event = MessageEvent(channel_name=channel.name, message=message)
+        self.events_dispatched += 1
+        for listener in self._listeners.get(channel.name, []):
+            listener(event)
+        for listener in self._catch_all:
+            listener(event)

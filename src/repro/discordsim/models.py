@@ -1,0 +1,95 @@
+"""Core Discord value types: users, messages, attachments, buttons."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DiscordSimError
+
+_id_counter = itertools.count(1000)
+
+
+def next_snowflake() -> int:
+    """Monotonic message/user/channel ids (Discord calls them snowflakes)."""
+    return next(_id_counter)
+
+
+@dataclass(frozen=True)
+class User:
+    """A server member; bots are users with ``bot=True``."""
+
+    name: str
+    user_id: int = field(default_factory=next_snowflake)
+    bot: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DiscordSimError("user needs a name")
+
+
+@dataclass
+class Attachment:
+    filename: str
+    content: bytes = b""
+
+
+class ButtonStyle(enum.Enum):
+    PRIMARY = "primary"
+    SUCCESS = "success"
+    DANGER = "danger"
+    SECONDARY = "secondary"
+
+
+@dataclass
+class Button:
+    """An interactive message component.
+
+    ``callback`` receives the clicking user; buttons can only be used
+    once the message is delivered to a channel and may be disabled after
+    use (the send/discard/revise workflow disables its row after a
+    decision is taken).
+    """
+
+    label: str
+    style: ButtonStyle = ButtonStyle.SECONDARY
+    callback: Callable[["Message", User], None] | None = None
+    disabled: bool = False
+    clicks: int = 0
+
+    def click(self, message: "Message", user: User) -> None:
+        if self.disabled:
+            raise DiscordSimError(f"button {self.label!r} is disabled")
+        self.clicks += 1
+        if self.callback is not None:
+            self.callback(message, user)
+
+
+@dataclass
+class Message:
+    """A message in a channel or forum post."""
+
+    author: User
+    content: str
+    message_id: int = field(default_factory=next_snowflake)
+    attachments: list[Attachment] = field(default_factory=list)
+    buttons: list[Button] = field(default_factory=list)
+    timestamp: float = 0.0
+    #: Free-form tags the bots attach (e.g. "sent-by:barry", timestamps).
+    tags: dict[str, str] = field(default_factory=dict)
+    deleted: bool = False
+
+    def button(self, label: str) -> Button:
+        for b in self.buttons:
+            if b.label == label:
+                return b
+        raise DiscordSimError(
+            f"message {self.message_id} has no button {label!r}; "
+            f"available: {[b.label for b in self.buttons]}"
+        )
+
+    def disable_buttons(self) -> None:
+        for b in self.buttons:
+            b.disabled = True

@@ -1,0 +1,44 @@
+"""Webhooks: URL-addressed posting into a channel.
+
+"Webhooks are user-defined HTTP callbacks ... with the URL provided by
+Discord for a webhook, one can make an HTTP request to post a message
+to the associated channel."  Here the "HTTP request" is a method call
+carrying just the payload text, faithful to how the Apps-Script poller
+uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discordsim.channels import TextChannel
+from repro.discordsim.gateway import Gateway
+from repro.discordsim.models import Message, User, next_snowflake
+from repro.errors import DiscordSimError
+
+
+@dataclass
+class Webhook:
+    """A posting endpoint bound to one text channel."""
+
+    channel: TextChannel
+    name: str = "webhook"
+    gateway: "Gateway | None" = None
+    webhook_id: int = field(default_factory=next_snowflake)
+    _user: User = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._user = User(name=f"{self.name}#webhook", bot=True)
+
+    @property
+    def url(self) -> str:
+        return f"https://discord.sim/api/webhooks/{self.webhook_id}/{self.name}"
+
+    def execute(self, content: str) -> Message:
+        """Post ``content`` to the bound channel (the HTTP POST analogue)."""
+        if not content:
+            raise DiscordSimError("webhook payload must be non-empty")
+        msg = self.channel.send(Message(author=self._user, content=content))
+        if self.gateway is not None:
+            self.gateway.publish_message(self.channel, msg)
+        return msg

@@ -1,0 +1,161 @@
+"""File-system document loaders.
+
+Equivalents of the LangChain loaders named in the paper's Section III-A:
+``DirectoryLoader`` walks a tree and delegates per-file; ``MarkdownLoader``
+plays the role of ``UnstructuredMarkdownLoader`` — it strips markup noise
+(Sphinx directives, HTML comments) and attaches title metadata.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import re
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.documents.document import Document
+from repro.errors import DocumentError
+
+_H1_RE = re.compile(r"^#\s+(.*)$", re.MULTILINE)
+_HTML_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_SPHINX_DIRECTIVE_RE = re.compile(r"^```\{[a-z-]+\}[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+_FRONTMATTER_RE = re.compile(r"\A---\n(.*?)\n---\n", re.DOTALL)
+
+
+class TextLoader:
+    """Load a single file as one plain-text :class:`Document`."""
+
+    def __init__(self, path: str | Path, *, encoding: str = "utf-8") -> None:
+        self.path = Path(path)
+        self.encoding = encoding
+
+    def load(self) -> list[Document]:
+        try:
+            text = self.path.read_text(encoding=self.encoding)
+        except OSError as exc:
+            raise DocumentError(f"cannot read {self.path}: {exc}") from exc
+        return [Document(text=text, metadata={"source": str(self.path)})]
+
+
+class MarkdownLoader:
+    """Load a Markdown file, stripping markup noise and extracting the title.
+
+    Frontmatter (``--- ... ---``) is parsed into metadata key/value pairs
+    (``key: value`` lines only).  Sphinx fenced directives have their fence
+    removed but their body kept, mirroring how ``UnstructuredMarkdownLoader``
+    keeps directive prose.
+    """
+
+    def __init__(self, path: str | Path, *, encoding: str = "utf-8") -> None:
+        self.path = Path(path)
+        self.encoding = encoding
+
+    def load(self) -> list[Document]:
+        try:
+            raw = self.path.read_text(encoding=self.encoding)
+        except OSError as exc:
+            raise DocumentError(f"cannot read {self.path}: {exc}") from exc
+
+        metadata: dict[str, str] = {"source": str(self.path)}
+        fm = _FRONTMATTER_RE.match(raw)
+        if fm:
+            for line in fm.group(1).splitlines():
+                if ":" in line:
+                    key, _, value = line.partition(":")
+                    metadata[key.strip()] = value.strip()
+            raw = raw[fm.end() :]
+
+        raw = _HTML_COMMENT_RE.sub("", raw)
+        raw = _SPHINX_DIRECTIVE_RE.sub(lambda m: m.group(1), raw)
+
+        if "title" not in metadata:
+            h1 = _H1_RE.search(raw)
+            if h1:
+                metadata["title"] = h1.group(1).strip()
+
+        return [Document(text=raw.strip() + "\n", metadata=metadata)]
+
+
+class JsonLinesLoader:
+    """Load a ``.jsonl`` file where each line is ``{"text": ..., ...}``.
+
+    Used for mailing-list archives: each line is one message, and every
+    non-``text`` key becomes document metadata.
+    """
+
+    def __init__(self, path: str | Path, *, text_key: str = "text") -> None:
+        self.path = Path(path)
+        self.text_key = text_key
+
+    def load(self) -> list[Document]:
+        docs: list[Document] = []
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise DocumentError(f"cannot read {self.path}: {exc}") from exc
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DocumentError(f"{self.path}:{lineno}: invalid JSON: {exc}") from exc
+            if self.text_key not in obj:
+                raise DocumentError(f"{self.path}:{lineno}: missing key {self.text_key!r}")
+            text = str(obj.pop(self.text_key))
+            md = {str(k): v for k, v in obj.items()}
+            md["source"] = f"{self.path}#L{lineno}"
+            docs.append(Document(text=text, metadata=md))
+        return docs
+
+
+_LOADER_BY_SUFFIX: dict[str, Callable[[Path], list[Document]]] = {
+    ".md": lambda p: MarkdownLoader(p).load(),
+    ".markdown": lambda p: MarkdownLoader(p).load(),
+    ".jsonl": lambda p: JsonLinesLoader(p).load(),
+    ".txt": lambda p: TextLoader(p).load(),
+    ".rst": lambda p: TextLoader(p).load(),
+    ".c": lambda p: TextLoader(p).load(),
+    ".h": lambda p: TextLoader(p).load(),
+    ".py": lambda p: TextLoader(p).load(),
+}
+
+
+class DirectoryLoader:
+    """Recursively load every matching file under a root directory.
+
+    Parameters
+    ----------
+    root:
+        Directory to walk.
+    glob:
+        ``fnmatch`` pattern applied to file names (default: all supported).
+    recursive:
+        Whether to descend into subdirectories.
+    """
+
+    def __init__(self, root: str | Path, *, glob: str = "*", recursive: bool = True) -> None:
+        self.root = Path(root)
+        self.glob = glob
+        self.recursive = recursive
+
+    def iter_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            raise DocumentError(f"not a directory: {self.root}")
+        pattern = "**/*" if self.recursive else "*"
+        for path in sorted(self.root.glob(pattern)):
+            if not path.is_file():
+                continue
+            if path.suffix.lower() not in _LOADER_BY_SUFFIX:
+                continue
+            if not fnmatch.fnmatch(path.name, self.glob):
+                continue
+            yield path
+
+    def load(self) -> list[Document]:
+        docs: list[Document] = []
+        for path in self.iter_paths():
+            loader = _LOADER_BY_SUFFIX[path.suffix.lower()]
+            docs.extend(loader(path))
+        return docs

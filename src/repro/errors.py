@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers embedding the assistant stack (e.g. a Discord bot process) can
+catch a single base class at the integration boundary while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class CorpusError(ReproError):
+    """The knowledge-base corpus is malformed or missing content."""
+
+
+class DocumentError(ReproError):
+    """A document could not be loaded, parsed, or split."""
+
+
+class EmbeddingError(ReproError):
+    """An embedding model was misused (bad input, unfitted model, ...)."""
+
+
+class VectorStoreError(ReproError):
+    """Vector-store level failure (dimension mismatch, unknown id, ...)."""
+
+
+class RetrievalError(ReproError):
+    """A retriever could not satisfy a query."""
+
+
+class RerankError(ReproError):
+    """A reranker received invalid candidates or scoring failed."""
+
+
+class ModelError(ReproError):
+    """LLM-layer failure (unknown model, context overflow, bad message)."""
+
+
+class PromptError(ReproError):
+    """A prompt template could not be rendered."""
+
+
+class PostprocessError(ReproError):
+    """Markdown/HTML postprocessing failed."""
+
+
+class CodeCheckError(ReproError):
+    """The mini code checker rejected a code block structurally."""
+
+
+class HistoryError(ReproError):
+    """Interaction-history store misuse (duplicate ids, unknown scorer)."""
+
+
+class MailError(ReproError):
+    """Mailing-list / Gmail simulation failure."""
+
+
+class DiscordSimError(ReproError):
+    """Discord simulation failure (unknown channel, permission, ...)."""
+
+
+class BotError(ReproError):
+    """Bot-layer workflow failure (invalid command, bad button state)."""
+
+
+class EvaluationError(ReproError):
+    """Benchmark/grader failure (unknown question, invalid score)."""

@@ -1,0 +1,239 @@
+"""The 37-question Krylov-methods benchmark (paper Section V-A).
+
+Each question carries gold ``key_facts`` (required for a correct answer,
+rubric 3) and ``extra_facts`` (the additional detail an expert would
+include, rubric 4).  The ``nonexistent`` kind marks questions about
+fictitious APIs — the KSPBurb probe — where the ideal answer is a
+grounded refusal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.facts import FactRegistry
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class BenchmarkQuestion:
+    qid: str
+    text: str
+    key_facts: tuple[str, ...] = ()
+    extra_facts: tuple[str, ...] = ()
+    kind: str = "standard"  # "standard" | "nonexistent"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("standard", "nonexistent"):
+            raise EvaluationError(f"{self.qid}: unknown kind {self.kind!r}")
+        if self.kind == "standard" and not self.key_facts:
+            raise EvaluationError(f"{self.qid}: standard questions need key_facts")
+
+    def all_facts(self) -> tuple[str, ...]:
+        return self.key_facts + self.extra_facts
+
+
+def _q(qid: str, text: str, key: tuple[str, ...] = (), extra: tuple[str, ...] = (),
+       kind: str = "standard") -> BenchmarkQuestion:
+    return BenchmarkQuestion(qid=qid, text=text, key_facts=key, extra_facts=extra, kind=kind)
+
+
+def krylov_benchmark() -> list[BenchmarkQuestion]:
+    """The 37 benchmark questions on using Krylov methods within PETSc."""
+    qs = [
+        _q("Q01", "What does KSPBurb do?", kind="nonexistent"),
+        _q("Q02",
+           "Can I use KSP to solve a system where the matrix is not square, only "
+           "rectangular? Must it be invertible too or does that depend on how you're "
+           "using KSP?",
+           key=("ksplsqr.rectangular", "ksplsqr.no_invert"),
+           extra=("ksplsqr.normal_equiv",)),
+        _q("Q03",
+           "When assembling my matrix, how can I get PETSc to report whether the "
+           "preallocation I provided was sufficient?",
+           key=("mat.info_option",),
+           extra=("mat.preallocation",)),
+        _q("Q04",
+           "Which Krylov method does KSP use by default, and with what restart?",
+           key=("ksp.default_gmres",),
+           extra=("gmres.restart_option",)),
+        _q("Q05",
+           "Our application hardwires one solver right now. We want to experiment with "
+           "several different Krylov methods on the same problem without recompiling. "
+           "What is the PETSc way to switch the method at runtime?",
+           key=("ksp.settype",)),
+        _q("Q06",
+           "We never set any tolerances and wonder: what accuracy does the linear "
+           "solver aim for out of the box, and when does it give up?",
+           key=("conv.defaults",),
+           extra=("conv.settolerances",)),
+        _q("Q07",
+           "How do I change the relative tolerance and the maximum number of iterations "
+           "for a KSP solve?",
+           key=("conv.settolerances",),
+           extra=("conv.defaults",)),
+        _q("Q08",
+           "After KSPSolve returns, how do I find out whether the iteration converged "
+           "or why it failed?",
+           key=("conv.reason", "conv.reason_option")),
+        _q("Q09",
+           "Watching the convergence live would help us debug. How do we get the "
+           "residual printed every iteration — ideally the true one, not just the "
+           "preconditioned one?",
+           key=("conv.monitor",),
+           extra=("conv.monitorset",)),
+        _q("Q10",
+           "We warm-start each time step by filling the solution vector with the "
+           "previous step's answer before calling the solver, but iteration counts do "
+           "not drop at all. Is our initial guess being ignored?",
+           key=("conv.initial_guess",)),
+        _q("Q11",
+           "When is the conjugate gradient method KSPCG appropriate, and does PETSc "
+           "check that my matrix qualifies?",
+           key=("cg.spd", "cg.matrix_check"),
+           extra=("cg.indefinite_fail",)),
+        _q("Q12",
+           "Our Hessian-like matrix is symmetric but has negative eigenvalues mixed "
+           "in, and plain conjugate gradient blows up on it. Which Krylov method is "
+           "actually designed for this situation?",
+           key=("minres.symmetric_indefinite",),
+           extra=("symmlq.symmetric",)),
+        _q("Q13",
+           "Long runs on our cluster get killed by the out-of-memory killer; resident "
+           "memory climbs steadily with the iteration count under the default solver "
+           "settings. Is this a leak, or does the method itself keep allocating?",
+           key=("gmres.memory_grows",),
+           extra=("gmres.restart_option",)),
+        _q("Q14",
+           "Everyone on our team has a different superstition about the restart "
+           "value. Small values seem to spin forever on hard problems, huge ones blow "
+           "out the node memory. What is the actual trade-off?",
+           key=("gmres.restart_tradeoff",),
+           extra=("gmres.restart_option",)),
+        _q("Q15",
+           "I need a low-memory Krylov method for a nonsymmetric system. What do you "
+           "recommend?",
+           key=("bcgs.nonsymmetric",),
+           extra=("bcgs.no_transpose",)),
+        _q("Q16",
+           "The residual plot from our BiCGStab runs looks like a seismograph, full "
+           "of spikes, although it does converge in the end. Is there a better-behaved "
+           "variant or setting to smooth this out?",
+           key=("bcgsl.ell",),
+           extra=("tfqmr.smooth",)),
+        _q("Q17",
+           "Our operator is only available as a forward action y = A x; applying its "
+           "transpose is impossible in our code base. Can we still use the BiCGStab "
+           "family of solvers?",
+           key=("bcgs.no_transpose",)),
+        _q("Q18",
+           "What is flexible GMRES (KSPFGMRES) for, and when do I need it instead of "
+           "plain GMRES?",
+           key=("fgmres.variable_pc",),
+           extra=("fgmres.right_only",)),
+        _q("Q19",
+           "Why does KSPFGMRES give an error when I request left preconditioning?",
+           key=("fgmres.right_only",),
+           extra=("pc.side_default",)),
+        _q("Q20",
+           "How do I switch KSP to right preconditioning, and what does that change "
+           "about the convergence test?",
+           key=("pc.side_default", "conv.true_residual_norm")),
+        _q("Q21",
+           "What preconditioner does PETSc use if I don't choose one, in serial and in "
+           "parallel?",
+           key=("pc.default",),
+           extra=("pcbjacobi.blocks",)),
+        _q("Q22",
+           "How do I perform a direct solve (LU) through the KSP interface?",
+           key=("preonly.direct",),
+           extra=("preonly.check", "pclu.parallel")),
+        _q("Q23",
+           "I ran with -ksp_type preonly -pc_type ilu and the returned solution is "
+           "wrong, with no error message. What happened?",
+           key=("preonly.check",)),
+        _q("Q24",
+           "During the setup of the factorization our run aborts with a "
+           "division-by-zero-like failure on the diagonal (zero pivot). The matrix "
+           "comes from a mixed finite element discretization. How do we get past this?",
+           key=("pcilu.zeropivot",),
+           extra=("pcilu.levels",)),
+        _q("Q25",
+           "Our pressure solve for incompressible flow stalls around a relative "
+           "accuracy of 1e-3 no matter how many iterations we allow. The operator is "
+           "singular — the constant vector is in its null space. What are we missing?",
+           key=("nullspace.set",),
+           extra=("nullspace.constant", "nullspace.pc_care")),
+        _q("Q26",
+           "Can we run a Krylov solve without ever assembling the matrix, supplying "
+           "only a routine that applies the operator to a vector?",
+           key=("mf.shell",),
+           extra=("mf.pc_restriction",)),
+        _q("Q27",
+           "Which preconditioners can I still use when my operator is a shell "
+           "(matrix-free) matrix?",
+           key=("mf.pc_restriction",),
+           extra=("pcjacobi.diag",)),
+        _q("Q28",
+           "Our Krylov solver stops scaling beyond a few thousand MPI ranks even though "
+           "the matrix is well distributed. What is the likely bottleneck?",
+           key=("perf.reductions_scaling",),
+           extra=("pipecg.overlap", "pipelined.async")),
+        _q("Q29",
+           "We read that overlapping the dot-product synchronization with the matrix "
+           "work can hide network latency at scale. Does PETSc's conjugate gradient "
+           "have a variant for this, and what are the gotchas?",
+           key=("pipecg.overlap", "pipelined.async"),
+           extra=("pipelined.stability",)),
+        _q("Q30",
+           "We want to switch our multigrid smoother to the Chebyshev iteration, but "
+           "heard it can diverge instantly if you just turn it on. What does it need "
+           "from us to work?",
+           key=("chebyshev.bounds",)),
+        _q("Q31",
+           "Why is Chebyshev iteration popular as a smoother inside multigrid at large "
+           "scale?",
+           key=("chebyshev.no_reductions",)),
+        _q("Q32",
+           "How do I measure where the time goes in my linear solve — setup versus "
+           "the actual KSPSolve iterations?",
+           key=("perf.logview", "perf.stages")),
+        _q("Q33",
+           "How can I see exactly which solver, tolerances, and preconditioner my run "
+           "actually used?",
+           key=("ksp.view_option",),
+           extra=("options.help",)),
+        _q("Q34",
+           "Every outer optimization step updates the matrix entries. Destroying and "
+           "recreating the Krylov solver object each step feels wasteful. Can the same "
+           "solver be reused after the matrix changes?",
+           key=("ksp.reuse_solver",),
+           extra=("ksp.setoperators_amat_pmat",)),
+        _q("Q35",
+           "In KSPSetOperators, what is the difference between the Amat and Pmat "
+           "arguments?",
+           key=("ksp.setoperators_amat_pmat",),
+           extra=("mf.pc_restriction",)),
+        _q("Q36",
+           "For the adjoint solve in my optimization loop I need to solve with the "
+           "transpose of the matrix. Does KSP support that directly?",
+           key=("ksp.solvetranspose",)),
+        _q("Q37",
+           "Our application has its own notion of convergence based on an energy "
+           "norm. Can we plug that in instead of the built-in residual test?",
+           key=("conv.custom_test",),
+           extra=("conv.default_test_norm",)),
+    ]
+    if len(qs) != 37:
+        raise EvaluationError(f"benchmark must have 37 questions, got {len(qs)}")
+    ids = [q.qid for q in qs]
+    if len(set(ids)) != 37:
+        raise EvaluationError("duplicate question ids in benchmark")
+    return qs
+
+
+def validate_benchmark(registry: FactRegistry) -> None:
+    """Check every gold fact id resolves against the registry."""
+    for q in krylov_benchmark():
+        for fid in q.all_facts():
+            registry.fact(fid)  # raises CorpusError on unknown ids

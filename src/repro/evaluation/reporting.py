@@ -1,0 +1,82 @@
+"""Text rendering of the paper's figures and tables.
+
+The paper's Fig. 6 panels are grouped bar charts of per-question scores;
+here they render as aligned text (one row per question, score bars drawn
+with ``#``), which diffs cleanly and needs no display.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import ExperimentRun, ModeComparison
+from repro.utils.timing import TimingStats
+
+
+def render_comparison(cmp: ModeComparison, *, title: str = "") -> str:
+    """A Fig.-6-style per-question comparison panel."""
+    lines: list[str] = []
+    if title:
+        lines += [title, "=" * len(title)]
+    lines.append(f"{'question':<9}{cmp.base_mode:>12}{cmp.new_mode:>14}  delta  bars")
+    for qid in sorted(cmp.deltas):
+        b, n = cmp.base_scores[qid], cmp.new_scores[qid]
+        delta = cmp.deltas[qid]
+        bar_b = "#" * b or "."
+        bar_n = "#" * n or "."
+        sign = f"+{delta}" if delta > 0 else (str(delta) if delta else " 0")
+        lines.append(f"{qid:<9}{b:>12}{n:>14}  {sign:>5}  {bar_b:<4} -> {bar_n:<4}")
+    lines.append("")
+    lines.append(
+        f"improved: {len(cmp.improved)}  worsened: {len(cmp.worsened)}  "
+        f"unchanged: {len(cmp.unchanged)}"
+    )
+    if cmp.improved:
+        lines.append(f"largest improvement: +{cmp.max_improvement()} "
+                     f"({', '.join(cmp.improvements_of(cmp.max_improvement()))})")
+    return "\n".join(lines)
+
+
+def render_score_histogram(run: ExperimentRun, *, title: str = "") -> str:
+    """Score distribution for one mode."""
+    hist = run.score_histogram()
+    lines: list[str] = []
+    if title:
+        lines += [title, "-" * len(title)]
+    for score in range(4, -1, -1):
+        n = hist[score]
+        lines.append(f"score {score}: {n:>3}  {'#' * n}")
+    lines.append(f"mean score: {run.mean_score():.2f} over {len(run.outcomes)} questions")
+    return "\n".join(lines)
+
+
+def render_latency_table(
+    rag: TimingStats | None,
+    rag_rerank: TimingStats | None,
+    llm_rag: TimingStats,
+    llm_rerank: TimingStats,
+    *,
+    ndigits: int = 3,
+) -> str:
+    """The paper's Table II layout: Min/Max/Avg for both configurations."""
+
+    def row(label: str, left: TimingStats | None, right: TimingStats | None) -> str:
+        def cells(st: TimingStats | None) -> str:
+            if st is None:
+                return f"{'-':>8}{'-':>8}{'-':>8}"
+            mn, mx, av = st.as_row(ndigits)
+            return f"{mn:>8}{mx:>8}{av:>8}"
+
+        return f"{label:<14}{cells(left)}  |{cells(right)}"
+
+    header = f"{'':<14}{'RAG':^24}  |{'RAG+reranking':^24}"
+    sub = f"{'':<14}{'Min':>8}{'Max':>8}{'Avg':>8}  |{'Min':>8}{'Max':>8}{'Avg':>8}"
+    lines = [header, sub, "-" * 66]
+    lines.append(row("RAG time", rag, rag_rerank))
+    lines.append(row("LLM response", llm_rag, llm_rerank))
+    if rag is not None and rag_rerank is not None:
+        ratio = rag_rerank.average / rag.average if rag.average else float("inf")
+        frac = rag_rerank.average / llm_rerank.average if llm_rerank.average else float("inf")
+        lines.append("")
+        lines.append(f"reranking multiplies RAG time by {ratio:.2f}x "
+                     f"(paper: ~2.4x); rerank-RAG is {100 * frac:.1f}% of LLM time "
+                     f"(paper: <11%)")
+    return "\n".join(lines)

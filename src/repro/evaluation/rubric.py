@@ -1,0 +1,34 @@
+"""The paper's Table I scoring rubric."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.errors import EvaluationError
+
+
+class Score(IntEnum):
+    """Rubric for LLM responses (higher is better) — paper Table I."""
+
+    NONSENSICAL = 0
+    INCORRECT = 1
+    MINOR_INACCURACIES = 2
+    CORRECT = 3
+    IDEAL = 4
+
+
+RUBRIC: dict[Score, str] = {
+    Score.NONSENSICAL: "Nonsensical answer",
+    Score.INCORRECT: "Incorrect or inaccurate statements (hallucinations) in the answer",
+    Score.MINOR_INACCURACIES: "Correct material with only minor inaccuracies",
+    Score.CORRECT: "Answer is clear and correct",
+    Score.IDEAL: "Ideal answer, close to what an expert would respond",
+}
+
+
+def rubric_label(score: int) -> str:
+    """Human-readable description of a rubric score."""
+    try:
+        return RUBRIC[Score(score)]
+    except ValueError:
+        raise EvaluationError(f"score must be in 0..4, got {score}") from None

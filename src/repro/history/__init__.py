@@ -1,0 +1,18 @@
+"""Interaction history (paper Section III-F).
+
+A "detailed, manipulatable, searchable database of all interactions with
+all the LLMs": question, response, timestamp, continuation and embedding
+model, the generated prompts, and blind scores assigned by reviewers.
+Developer answers can be stored and scored in the same database.
+"""
+
+from repro.history.records import Interaction, ScoreRecord
+from repro.history.store import InteractionStore
+from repro.history.scoring import BlindScoringSession
+
+__all__ = [
+    "Interaction",
+    "ScoreRecord",
+    "InteractionStore",
+    "BlindScoringSession",
+]

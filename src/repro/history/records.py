@@ -1,0 +1,61 @@
+"""Record types for the interaction-history database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HistoryError
+
+
+@dataclass
+class ScoreRecord:
+    """One blind score assigned by a reviewer.
+
+    ``correct_spans`` / ``incorrect_spans`` let scorers "indicate correct
+    and incorrect portions of the responses" (paper III-F) as substrings
+    of the answer text.
+    """
+
+    scorer: str
+    score: int
+    correct_spans: list[str] = field(default_factory=list)
+    incorrect_spans: list[str] = field(default_factory=list)
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.score <= 4:
+            raise HistoryError(f"score must be in 0..4, got {self.score}")
+        if not self.scorer:
+            raise HistoryError("scorer name must be non-empty")
+
+
+@dataclass
+class Interaction:
+    """One question/answer exchange with an LLM (or a human developer)."""
+
+    interaction_id: str
+    question: str
+    answer: str
+    timestamp: float
+    chat_model: str = ""
+    embedding_model: str = ""
+    mode: str = ""
+    prompt: str = ""
+    context_sources: list[str] = field(default_factory=list)
+    rag_seconds: float = 0.0
+    llm_seconds: float = 0.0
+    answered_by_human: bool = False
+    scores: list[ScoreRecord] = field(default_factory=list)
+    tags: list[str] = field(default_factory=list)
+
+    def mean_score(self) -> float | None:
+        if not self.scores:
+            return None
+        return sum(s.score for s in self.scores) / len(self.scores)
+
+    def add_score(self, record: ScoreRecord) -> None:
+        if any(s.scorer == record.scorer for s in self.scores):
+            raise HistoryError(
+                f"scorer {record.scorer!r} already scored interaction {self.interaction_id}"
+            )
+        self.scores.append(record)

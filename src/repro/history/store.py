@@ -1,0 +1,209 @@
+"""The searchable interaction database.
+
+The paper currently uses "a bespoke Python dictionary" — this store is
+that dictionary grown into a real component: keyed records, full-text
+search, model/mode filters, JSONL persistence, and hooks for feeding
+past interactions back into RAG (``as_documents``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from pathlib import Path
+
+from repro.documents import Document
+from repro.errors import HistoryError
+from repro.history.records import Interaction, ScoreRecord
+from repro.pipeline.rag import PipelineResult
+from repro.utils.textproc import tokenize
+
+
+class InteractionStore:
+    """In-memory interaction database with JSONL persistence."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, Interaction] = {}
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ insert
+    def new_id(self) -> str:
+        return f"int-{next(self._counter):06d}"
+
+    def add(self, interaction: Interaction) -> Interaction:
+        if interaction.interaction_id in self._records:
+            raise HistoryError(f"duplicate interaction id {interaction.interaction_id!r}")
+        self._records[interaction.interaction_id] = interaction
+        return interaction
+
+    def record_pipeline_result(
+        self,
+        result: PipelineResult,
+        *,
+        embedding_model: str = "",
+        timestamp: float | None = None,
+        tags: list[str] | None = None,
+    ) -> Interaction:
+        """Store one pipeline invocation."""
+        interaction = Interaction(
+            interaction_id=self.new_id(),
+            question=result.question,
+            answer=result.answer,
+            timestamp=time.time() if timestamp is None else timestamp,
+            chat_model=result.model,
+            embedding_model=embedding_model,
+            mode=result.mode,
+            prompt=result.prompt,
+            context_sources=[
+                str(c.document.metadata.get("source", "")) for c in result.contexts
+            ],
+            rag_seconds=result.rag_seconds,
+            llm_seconds=result.llm_seconds,
+            tags=tags or [],
+        )
+        return self.add(interaction)
+
+    def record_human_answer(
+        self,
+        question: str,
+        answer: str,
+        *,
+        developer: str,
+        timestamp: float | None = None,
+    ) -> Interaction:
+        """Store a developer-written answer (scored like LLM answers)."""
+        interaction = Interaction(
+            interaction_id=self.new_id(),
+            question=question,
+            answer=answer,
+            timestamp=time.time() if timestamp is None else timestamp,
+            answered_by_human=True,
+            tags=[f"developer:{developer}"],
+        )
+        return self.add(interaction)
+
+    # ------------------------------------------------------------------ access
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, interaction_id: str) -> Interaction:
+        try:
+            return self._records[interaction_id]
+        except KeyError:
+            raise HistoryError(f"unknown interaction id {interaction_id!r}") from None
+
+    def all(self) -> list[Interaction]:
+        return sorted(self._records.values(), key=lambda r: r.timestamp)
+
+    def search(
+        self,
+        text: str = "",
+        *,
+        chat_model: str | None = None,
+        mode: str | None = None,
+        min_mean_score: float | None = None,
+        human_only: bool = False,
+    ) -> list[Interaction]:
+        """Filter interactions; ``text`` matches question or answer tokens."""
+        needle = set(tokenize(text)) if text else set()
+        out: list[Interaction] = []
+        for rec in self.all():
+            if chat_model is not None and rec.chat_model != chat_model:
+                continue
+            if mode is not None and rec.mode != mode:
+                continue
+            if human_only and not rec.answered_by_human:
+                continue
+            if min_mean_score is not None:
+                mean = rec.mean_score()
+                if mean is None or mean < min_mean_score:
+                    continue
+            if needle:
+                haystack = set(tokenize(rec.question)) | set(tokenize(rec.answer))
+                if not needle <= haystack:
+                    continue
+            out.append(rec)
+        return out
+
+    # ------------------------------------------------------------------ scoring
+    def add_score(self, interaction_id: str, record: ScoreRecord) -> None:
+        self.get(interaction_id).add_score(record)
+
+    # ------------------------------------------------------------------ RAG feedback
+    def as_documents(self, *, min_mean_score: float = 3.0) -> list[Document]:
+        """High-scoring past interactions as RAG documents.
+
+        This is the paper's dotted arrow from "Shared histories" back into
+        box 1: vetted Q/A pairs become retrievable knowledge.
+        """
+        docs: list[Document] = []
+        for rec in self.all():
+            mean = rec.mean_score()
+            if mean is None or mean < min_mean_score:
+                continue
+            docs.append(Document(
+                text=f"Q: {rec.question}\n\nA: {rec.answer}",
+                metadata={
+                    "source": f"history/{rec.interaction_id}",
+                    "doc_type": "history",
+                    "title": rec.question[:80],
+                    "mean_score": mean,
+                },
+            ))
+        return docs
+
+    # ------------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> None:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with p.open("w", encoding="utf-8") as fh:
+            for rec in self.all():
+                obj = {
+                    "interaction_id": rec.interaction_id,
+                    "question": rec.question,
+                    "answer": rec.answer,
+                    "timestamp": rec.timestamp,
+                    "chat_model": rec.chat_model,
+                    "embedding_model": rec.embedding_model,
+                    "mode": rec.mode,
+                    "prompt": rec.prompt,
+                    "context_sources": rec.context_sources,
+                    "rag_seconds": rec.rag_seconds,
+                    "llm_seconds": rec.llm_seconds,
+                    "answered_by_human": rec.answered_by_human,
+                    "tags": rec.tags,
+                    "scores": [
+                        {
+                            "scorer": s.scorer,
+                            "score": s.score,
+                            "correct_spans": s.correct_spans,
+                            "incorrect_spans": s.incorrect_spans,
+                            "comment": s.comment,
+                        }
+                        for s in rec.scores
+                    ],
+                }
+                fh.write(json.dumps(obj) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InteractionStore":
+        store = cls()
+        max_seq = 0
+        for line_no, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+            scores = [ScoreRecord(**s) for s in obj.pop("scores", [])]
+            rec = Interaction(**obj)
+            rec.scores = scores
+            store.add(rec)
+            try:
+                max_seq = max(max_seq, int(rec.interaction_id.split("-")[-1]))
+            except ValueError:
+                pass
+        store._counter = itertools.count(max_seq + 1)
+        return store

@@ -1,0 +1,32 @@
+"""Simulated chat models.
+
+There is no network access in this reproduction, so hosted LLMs are
+replaced by :class:`SimulatedChatModel`: a deterministic model whose
+answer quality is a *function of the facts available to it* — facts found
+in the prompt's context block, plus a per-model "parametric" subset of
+the fact registry standing in for pretraining knowledge.  Models
+hallucinate (emit registered falsehoods, or fabricate descriptions of
+nonexistent APIs such as ``KSPBurb``) exactly when they lack grounding,
+which preserves the mechanism the paper evaluates: baseline < RAG <
+reranking-enhanced RAG.
+"""
+
+from repro.llm.base import ChatMessage, ChatModel, CompletionResult, TokenUsage
+from repro.llm.latency import LatencyEngine
+from repro.llm.parametric import ParametricKnowledge
+from repro.llm.registry import CHAT_MODEL_NAMES, create_chat_model
+from repro.llm.simulated import SimulatedChatModel
+from repro.llm.tokens import count_tokens
+
+__all__ = [
+    "ChatMessage",
+    "ChatModel",
+    "CompletionResult",
+    "TokenUsage",
+    "LatencyEngine",
+    "ParametricKnowledge",
+    "CHAT_MODEL_NAMES",
+    "create_chat_model",
+    "SimulatedChatModel",
+    "count_tokens",
+]

@@ -1,0 +1,82 @@
+"""Hallucination generation for the simulated models.
+
+Two kinds, matching what the paper observed:
+
+* **Fabrication** — a confident description of a nonexistent API
+  (ChatGPT's ``KSPBurb`` answer).  If the registry has a fabrication
+  falsehood whose topic matches the identifier we emit its canonical
+  statement (detectable by the grader); otherwise a deterministic
+  template invents one.
+* **Misconception** — a registered topical falsehood mixed into an
+  otherwise plausible answer (the "incorrect or inaccurate statements"
+  of rubric score 1).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.facts import Falsehood, FactRegistry
+from repro.utils.rng import stable_hash
+from repro.utils.textproc import code_tokens, tokenize
+
+_FABRICATION_TEMPLATES = (
+    "{ident} is an implementation of a Krylov subspace method in PETSc used to "
+    "solve systems of linear equations. Specifically, {ident} is a block "
+    "version of the unpreconditioned Richardson iterative method with "
+    "automatic damping selection.",
+    "{ident} is a PETSc routine that configures the solver's internal "
+    "communication pattern; it is typically called once after "
+    "KSPSetFromOptions to enable the optimized reduction path.",
+    "{ident} is an advanced option introduced for GPU execution; it selects a "
+    "fused-kernel variant of the underlying iterative method.",
+)
+
+
+class HallucinationGenerator:
+    """Deterministic plausible-but-wrong text."""
+
+    def __init__(self, registry: FactRegistry) -> None:
+        self.registry = registry
+
+    def fabricate(self, identifier: str, *, model_name: str) -> tuple[str, Falsehood | None]:
+        """A confident description of ``identifier`` (which does not exist).
+
+        Returns the text and the registered falsehood used, if any.
+        """
+        for falsehood in self.registry.falsehoods.values():
+            if falsehood.fabrication and identifier in falsehood.topics:
+                return falsehood.statement, falsehood
+        idx = stable_hash(f"{model_name}\x1f{identifier}", namespace="fab") % len(
+            _FABRICATION_TEMPLATES
+        )
+        return _FABRICATION_TEMPLATES[idx].format(ident=identifier), None
+
+    def topical_falsehood(self, question: str, *, model_name: str) -> Falsehood | None:
+        """The registered misconception most related to ``question``.
+
+        Fabrication falsehoods are excluded — those are only emitted via
+        :meth:`fabricate` for identifiers actually named in the question.
+        Returns None when nothing overlaps (the model then stays vague
+        instead of wrong).
+        """
+        q_tokens = set(tokenize(question))
+        q_idents = set(code_tokens(question))
+        best: Falsehood | None = None
+        best_score = 0
+        for falsehood in self.registry.falsehoods.values():
+            if falsehood.fabrication:
+                continue
+            score = 0
+            for topic in falsehood.topics:
+                if topic in q_idents:
+                    score += 2
+                elif topic.lower() in q_tokens or topic.lower() in question.lower():
+                    score += 1
+            if score > best_score or (
+                score == best_score
+                and score > 0
+                and best is not None
+                and falsehood.false_id < best.false_id
+            ):
+                best = falsehood
+                best_score = score
+        return best if best_score > 0 else None

@@ -1,0 +1,87 @@
+"""Named simulated chat models, mirroring the paper's model comparison.
+
+=================  ====================================================
+Registry name      Stand-in for
+=================  ====================================================
+gpt-4o-sim         OpenAI GPT-4o (best overall in the paper)
+gpt-4-turbo-sim    an older GPT-4 variant (knows a bit less)
+llama-3-70b-sim    Meta Llama 3 70B (solid, hallucinates more)
+llama-3-8b-sim     Meta Llama 3 8B (fast, weak parametric knowledge)
+=================  ====================================================
+
+``knowledge_rate`` is the fraction of registry facts in the model's
+parametric subset; ``hallucination_rate`` controls how often ungrounded
+partial answers pick up a registered misconception.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.facts import FactRegistry, default_registry
+from repro.errors import ModelError
+from repro.llm.simulated import ModelPersona, SimulatedChatModel
+
+_PERSONAS: dict[str, ModelPersona] = {
+    "gpt-4o-sim": ModelPersona(
+        name="gpt-4o-sim",
+        knowledge_rate=0.42,
+        hallucination_rate=0.45,
+        verbosity=1.0,
+        iterations_per_token=6000,
+    ),
+    "gpt-4-turbo-sim": ModelPersona(
+        name="gpt-4-turbo-sim",
+        knowledge_rate=0.34,
+        hallucination_rate=0.55,
+        verbosity=1.0,
+        iterations_per_token=9000,
+    ),
+    "llama-3-70b-sim": ModelPersona(
+        name="llama-3-70b-sim",
+        knowledge_rate=0.26,
+        hallucination_rate=0.65,
+        verbosity=0.9,
+        iterations_per_token=7000,
+    ),
+    "llama-3-8b-sim": ModelPersona(
+        name="llama-3-8b-sim",
+        knowledge_rate=0.12,
+        hallucination_rate=0.80,
+        verbosity=0.8,
+        iterations_per_token=2500,
+    ),
+}
+
+CHAT_MODEL_NAMES: tuple[str, ...] = tuple(_PERSONAS)
+
+
+def create_chat_model(
+    name: str,
+    *,
+    registry: FactRegistry | None = None,
+    known_identifiers: frozenset[str] = frozenset(),
+    iterations_per_token: int | None = None,
+) -> SimulatedChatModel:
+    """Instantiate a registered simulated chat model.
+
+    ``iterations_per_token`` overrides the persona's latency cost (tests
+    pass 0 to disable the generation-time burn).
+    """
+    persona = _PERSONAS.get(name)
+    if persona is None:
+        raise ModelError(
+            f"unknown chat model {name!r}; known models: {', '.join(CHAT_MODEL_NAMES)}"
+        )
+    if iterations_per_token is not None:
+        persona = ModelPersona(
+            name=persona.name,
+            knowledge_rate=persona.knowledge_rate,
+            hallucination_rate=persona.hallucination_rate,
+            verbosity=persona.verbosity,
+            iterations_per_token=iterations_per_token,
+            context_window=persona.context_window,
+        )
+    return SimulatedChatModel(
+        persona,
+        registry or default_registry(),
+        known_identifiers=known_identifiers,
+    )

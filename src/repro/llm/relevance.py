@@ -1,0 +1,134 @@
+"""Question ↔ fact relevance used by the simulated model.
+
+Given a question, which of the facts available to the model (from
+context or parametric memory) actually bear on it?  Topics are weighted
+by specificity (IDF over the registry) so that a generic topic like
+``KSP`` contributes little while ``KSPLSQR`` or ``least squares``
+contribute a lot, and an IDF-weighted stemmed-token overlap between the
+question and the fact statement catches paraphrased questions that never
+name an identifier.  This is *not* the grader: the model selects facts
+by this heuristic without access to the benchmark's gold fact lists.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.corpus.facts import Fact, FactRegistry
+from repro.utils.textproc import code_tokens, stem, stemmed_tokens
+
+
+@dataclass
+class ScoredFact:
+    fact: Fact
+    score: float
+
+
+class RelevanceModel:
+    """Scores facts against a question with specificity-weighted topics."""
+
+    #: Class prefixes users drop when naming solver types ("preonly"
+    #: for KSPPREONLY, "ilu" for PCILU).
+    _PREFIXES = ("ksp", "pc", "mat", "vec", "snes", "ts")
+
+    def __init__(self, registry: FactRegistry) -> None:
+        self.registry = registry
+        topic_df: Counter[str] = Counter()
+        for fact in registry.facts.values():
+            topic_df.update({t.lower() for t in fact.topics})
+        n = max(len(registry.facts), 1)
+        self._topic_weight = {
+            t: math.log((1 + n) / (1 + c)) + 0.1 for t, c in topic_df.items()
+        }
+        # Stemmed-token IDF over fact statements, for the paraphrase signal.
+        tok_df: Counter[str] = Counter()
+        for fact in registry.facts.values():
+            tok_df.update(set(stemmed_tokens(fact.statement)))
+        self._token_idf = {
+            t: math.log((1 + n) / (1 + c)) + 0.1 for t, c in tok_df.items()
+        }
+        self._max_token_idf = max(self._token_idf.values(), default=1.0)
+        # Cache per-fact stemmed statement tokens (hot loop in selection).
+        self._stmt_tokens: dict[str, frozenset[str]] = {
+            fid: frozenset(stemmed_tokens(f.statement))
+            for fid, f in registry.facts.items()
+        }
+
+    def topic_weight(self, topic: str) -> float:
+        return self._topic_weight.get(topic.lower(), 1.0)
+
+    # ------------------------------------------------------------------ scoring
+    def _topic_score(self, fact: Fact, q_lower: str, q_stems: set[str], q_idents: set[str]) -> float:
+        s = 0.0
+        for topic in fact.topics:
+            tl = topic.lower()
+            w = self.topic_weight(topic)
+            if topic in q_idents:
+                s += 1.3 * w
+            elif " " in tl:
+                if tl in q_lower:
+                    s += 1.3 * w
+            elif stem(tl) in q_stems or tl in q_stems:
+                s += 1.0 * w
+            elif tl.startswith("-") and stem(tl.lstrip("-")) in q_stems:
+                s += 1.0 * w
+            else:
+                # Users name solver types without the class prefix
+                # ("preonly" for KSPPREONLY, "gmres" for KSPGMRES).
+                for prefix in self._PREFIXES:
+                    rest = tl[len(prefix):]
+                    if tl.startswith(prefix) and len(rest) >= 2 and stem(rest) in q_stems:
+                        s += 1.0 * w
+                        break
+        return s
+
+    def _paraphrase_score(self, fact: Fact, q_stems: set[str]) -> float:
+        stmt = self._stmt_tokens[fact.fact_id]
+        shared = q_stems & stmt
+        if not shared or not q_stems:
+            return 0.0
+        num = sum(self._token_idf.get(t, self._max_token_idf) for t in shared)
+        den = sum(self._token_idf.get(t, self._max_token_idf) for t in q_stems)
+        return num / den if den > 0 else 0.0
+
+    def score(self, fact: Fact, question: str) -> float:
+        q_lower = question.lower()
+        q_stems = set(stemmed_tokens(question))
+        q_idents = set(code_tokens(question))
+        s = self._topic_score(fact, q_lower, q_stems, q_idents)
+        s += 3.2 * self._paraphrase_score(fact, q_stems)
+        return s
+
+    def select(
+        self,
+        facts: list[Fact],
+        question: str,
+        *,
+        max_facts: int = 7,
+        min_score: float = 0.9,
+        relative: float = 0.25,
+    ) -> list[ScoredFact]:
+        """Facts relevant to ``question``, best first.
+
+        A fact is kept if its score clears both the absolute floor and a
+        fraction of the best score (so one dominant topic match does not
+        drag in everything mildly related).
+        """
+        q_lower = question.lower()
+        q_stems = set(stemmed_tokens(question))
+        q_idents = set(code_tokens(question))
+        scored = [
+            ScoredFact(
+                fact=f,
+                score=self._topic_score(f, q_lower, q_stems, q_idents)
+                + 3.2 * self._paraphrase_score(f, q_stems),
+            )
+            for f in facts
+        ]
+        scored.sort(key=lambda sf: (-sf.score, sf.fact.fact_id))
+        if not scored or scored[0].score < min_score:
+            return []
+        floor = max(min_score, relative * scored[0].score) if relative > 0 else min_score
+        return [sf for sf in scored if sf.score >= floor][:max_facts]

@@ -1,0 +1,44 @@
+"""Apps-Script-like poller: checks Gmail, pings a Discord webhook.
+
+The paper: "with Google Apps Script services, we use JavaScript to
+periodically check whether there are new (unread) emails from
+petsc-users in the Gmail account.  If there are, the script sends a
+message to a webhook associated with a private channel named
+petsc-users-notification."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mail.gmail import GmailAccount
+
+WebhookPost = Callable[[str], None]
+
+
+@dataclass
+class AppsScriptPoller:
+    """Periodic trigger body: notify a webhook when unread mail exists.
+
+    The poller does **not** read the mail itself (matching the paper's
+    split of responsibilities): it only posts a notification; the email
+    bot on the Discord side fetches and marks read.
+    """
+
+    account: GmailAccount
+    webhook_post: WebhookPost
+    notification_text: str = "New petsc-users email available"
+    runs: int = 0
+    notifications_sent: int = 0
+
+    def tick(self) -> bool:
+        """One scheduled execution; returns whether a notification fired."""
+        self.runs += 1
+        if self.account.has_unread():
+            self.webhook_post(
+                f"{self.notification_text} ({self.account.unread_count()} unread)"
+            )
+            self.notifications_sent += 1
+            return True
+        return False

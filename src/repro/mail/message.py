@@ -1,0 +1,108 @@
+"""Email message model and body hygiene.
+
+The paper: "We lightly parse email bodies to remove quotes commonly
+seen in email replies and revert the url-defense protected URLs so that
+messages are presented concisely."
+"""
+
+from __future__ import annotations
+
+import re
+import urllib.parse
+from dataclasses import dataclass, field
+
+from repro.errors import MailError
+
+_QUOTE_HEADER_RE = re.compile(
+    r"^On .{0,120}(?:wrote|writes):\s*$", re.MULTILINE
+)
+_URLDEFENSE_V3_RE = re.compile(
+    r"https://urldefense\.(?:com|proofpoint\.com)/v3/__(?P<url>.*?)__;(?P<b64>[A-Za-z0-9+/=!*'()-]*)!!(?:[^\s]*)",
+)
+_URLDEFENSE_V2_RE = re.compile(
+    r"https://urldefense\.proofpoint\.com/v2/url\?(?P<qs>[^\s]+)"
+)
+
+
+@dataclass
+class Attachment:
+    filename: str
+    content: bytes = b""
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+
+@dataclass
+class EmailMessage:
+    """One email in a mailing-list thread."""
+
+    sender: str
+    subject: str
+    body: str
+    message_id: str = ""
+    in_reply_to: str = ""
+    timestamp: float = 0.0
+    attachments: list[Attachment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.sender or "@" not in self.sender:
+            raise MailError(f"invalid sender address {self.sender!r}")
+        if not self.message_id:
+            # RFC-ish synthetic id derived from content.
+            from repro.utils.rng import stable_hash
+
+            h = stable_hash(f"{self.sender}{self.subject}{self.body}", namespace="msgid")
+            self.message_id = f"<{h:016x}@petsc.sim>"
+
+    @property
+    def thread_subject(self) -> str:
+        """The subject with any number of Re:/Fwd: prefixes removed."""
+        subject = self.subject
+        while True:
+            m = re.match(r"^\s*(?:Re|RE|re|Fwd|FWD|fwd)\s*:\s*", subject)
+            if not m:
+                return subject.strip()
+            subject = subject[m.end():]
+
+    def clean_body(self) -> str:
+        """Body with quoted replies stripped and url-defense reversed."""
+        return undefense_urls(strip_quoted_reply(self.body))
+
+
+def strip_quoted_reply(body: str) -> str:
+    """Remove quoted previous messages from a reply body.
+
+    Drops everything from an "On <date>, <someone> wrote:" header on, and
+    removes any remaining ``>``-prefixed quote lines and trailing
+    signature blocks (``-- `` separator).
+    """
+    m = _QUOTE_HEADER_RE.search(body)
+    if m:
+        body = body[: m.start()]
+    lines = [ln for ln in body.splitlines() if not ln.lstrip().startswith(">")]
+    # Trailing signature.
+    for i, ln in enumerate(lines):
+        if ln.rstrip() == "--":
+            lines = lines[:i]
+            break
+    text = "\n".join(lines)
+    return re.sub(r"\n{3,}", "\n\n", text).strip()
+
+
+def undefense_urls(text: str) -> str:
+    """Reverse url-defense (proofpoint) protected URLs to their originals."""
+
+    def _v3(m: re.Match[str]) -> str:
+        return urllib.parse.unquote(m.group("url"))
+
+    def _v2(m: re.Match[str]) -> str:
+        params = urllib.parse.parse_qs(m.group("qs"))
+        raw = params.get("u", [""])[0]
+        # v2 encodes the URL with '-' for '%' and '_' for '/'.
+        return urllib.parse.unquote(raw.replace("_", "/").replace("-", "%"))
+
+    text = _URLDEFENSE_V3_RE.sub(_v3, text)
+    text = _URLDEFENSE_V2_RE.sub(_v2, text)
+    return text

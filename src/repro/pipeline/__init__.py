@@ -1,0 +1,22 @@
+"""The augmented PETSc LLM workflow (paper Fig. 3).
+
+Box 1 — locate material: vector RAG search + PETSc keyword search.
+Box 2 — refine: reranking K candidates down to L.
+Box 3 — the LLM call.
+Box 4 — postprocess the Markdown output.
+
+:class:`RAGPipeline` covers boxes 1–3 (with per-stage timing, which is
+what Table II reports); :class:`AugmentedWorkflow` adds box 4 and the
+shared interaction history.
+"""
+
+from repro.pipeline.rag import PipelineResult, RAGPipeline, build_rag_pipeline
+from repro.pipeline.workflow import AugmentedWorkflow, build_workflow
+
+__all__ = [
+    "RAGPipeline",
+    "PipelineResult",
+    "build_rag_pipeline",
+    "AugmentedWorkflow",
+    "build_workflow",
+]

@@ -1,0 +1,197 @@
+"""RAG pipelines: baseline, plain RAG, and reranking-enhanced RAG."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.config import RetrievalConfig, WorkflowConfig
+from repro.corpus.builder import CorpusBundle, chunk_corpus
+from repro.embeddings import create_embedding_model
+from repro.errors import ConfigurationError
+from repro.llm import ChatMessage, ChatModel, CompletionResult, create_chat_model
+from repro.prompts import BASELINE_PROMPT, RAG_PROMPT, RAG_SYSTEM_PROMPT, format_context
+from repro.rerank import FlashrankLiteReranker, NvidiaSimReranker, Reranker
+from repro.retrieval import ManualPageKeywordSearch, RetrievedDocument, VectorRetriever
+from repro.retrieval.base import dedupe_by_id
+from repro.vectorstore import VectorStore
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline invocation produced, for display and history."""
+
+    question: str
+    answer: str
+    mode: str
+    model: str
+    contexts: list[RetrievedDocument] = field(default_factory=list)
+    candidates: list[RetrievedDocument] = field(default_factory=list)
+    prompt: str = ""
+    rag_seconds: float = 0.0
+    llm_seconds: float = 0.0
+    completion: CompletionResult | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.rag_seconds + self.llm_seconds
+
+
+class RAGPipeline:
+    """Boxes 1–3 of the paper's workflow with per-stage timing.
+
+    ``mode`` is derived from the configuration: ``baseline`` (no
+    retrieval), ``rag`` (first-pass retrieval only, truncated to L), or
+    ``rag+rerank`` (K candidates reranked down to L).
+    """
+
+    def __init__(
+        self,
+        chat_model: ChatModel,
+        *,
+        retriever: VectorRetriever | None = None,
+        keyword_search: ManualPageKeywordSearch | None = None,
+        reranker: Reranker | None = None,
+        first_pass_k: int = 8,
+        final_l: int = 4,
+    ) -> None:
+        if retriever is None and (keyword_search is not None or reranker is not None):
+            raise ConfigurationError("keyword search / reranking require a retriever")
+        if not 0 < final_l <= first_pass_k:
+            raise ConfigurationError(
+                f"final_l must be in (0, first_pass_k], got L={final_l}, K={first_pass_k}"
+            )
+        self.chat_model = chat_model
+        self.retriever = retriever
+        self.keyword_search = keyword_search
+        self.reranker = reranker
+        self.first_pass_k = first_pass_k
+        self.final_l = final_l
+
+    @property
+    def mode(self) -> str:
+        if self.retriever is None:
+            return "baseline"
+        return "rag+rerank" if self.reranker is not None else "rag"
+
+    # ------------------------------------------------------------------ stages
+    def _locate(self, question: str) -> list[RetrievedDocument]:
+        """Box 1: vector search plus PETSc-specific keyword search."""
+        assert self.retriever is not None
+        hits = self.retriever.retrieve(question, k=self.first_pass_k)
+        if self.keyword_search is not None:
+            # Keyword hits are prepended: an exact manual-page match is
+            # the highest-confidence material available.
+            hits = self.keyword_search.retrieve(question, k=2) + hits
+        return dedupe_by_id(hits)[: self.first_pass_k + 2]
+
+    def _refine(self, question: str, candidates: list[RetrievedDocument]) -> list[RetrievedDocument]:
+        """Box 2: rerank K candidates down to L (or truncate when disabled)."""
+        if self.reranker is None:
+            return candidates[: self.final_l]
+        results = self.reranker.rerank(question, candidates, top_n=self.final_l)
+        return [
+            RetrievedDocument(
+                document=r.document.document,
+                score=r.rerank_score,
+                origin=f"rerank[{self.reranker.name}]",
+            )
+            for r in results
+        ]
+
+    # ------------------------------------------------------------------ entry
+    def answer(self, question: str) -> PipelineResult:
+        candidates: list[RetrievedDocument] = []
+        contexts: list[RetrievedDocument] = []
+        rag_seconds = 0.0
+        if self.retriever is not None:
+            t0 = time.perf_counter()
+            candidates = self._locate(question)
+            contexts = self._refine(question, candidates)
+            rag_seconds = time.perf_counter() - t0
+            prompt = RAG_PROMPT.format(context=format_context(contexts), question=question)
+        else:
+            prompt = BASELINE_PROMPT.format(question=question)
+
+        messages = [
+            ChatMessage(role="system", content=RAG_SYSTEM_PROMPT),
+            ChatMessage(role="user", content=prompt),
+        ]
+        t0 = time.perf_counter()
+        completion = self.chat_model.complete(messages)
+        llm_seconds = time.perf_counter() - t0
+
+        return PipelineResult(
+            question=question,
+            answer=completion.text,
+            mode=self.mode,
+            model=self.chat_model.name,
+            contexts=contexts,
+            candidates=candidates,
+            prompt=prompt,
+            rag_seconds=rag_seconds,
+            llm_seconds=llm_seconds,
+            completion=completion,
+        )
+
+
+def build_rag_pipeline(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None = None,
+    *,
+    mode: str = "rag+rerank",
+) -> RAGPipeline:
+    """Construct a pipeline over the corpus in one of the three modes.
+
+    ``mode``: ``"baseline"``, ``"rag"``, or ``"rag+rerank"``.
+    """
+    config = config or WorkflowConfig()
+    config.validate()
+    rc: RetrievalConfig = config.retrieval
+
+    keyword = ManualPageKeywordSearch(bundle)
+    chat = create_chat_model(
+        config.chat_model,
+        registry=bundle.registry,
+        known_identifiers=keyword.known_identifiers(),
+        iterations_per_token=config.iterations_per_token,
+    )
+    if mode == "baseline":
+        return RAGPipeline(chat)
+
+    chunks = chunk_corpus(
+        bundle,
+        include_mail=rc.include_mail_archives,
+        chunk_size=rc.chunk_size,
+        chunk_overlap=rc.chunk_overlap,
+    )
+    embedding = create_embedding_model(
+        rc.embedding_model, corpus_texts=[c.text for c in chunks]
+    )
+    store = VectorStore.from_documents(chunks, embedding)
+    retriever = VectorRetriever(store)
+    kw = keyword if rc.use_keyword_search else None
+
+    if mode == "rag":
+        return RAGPipeline(
+            chat,
+            retriever=retriever,
+            keyword_search=kw,
+            first_pass_k=rc.first_pass_k,
+            final_l=rc.final_l,
+        )
+    if mode == "rag+rerank":
+        reranker: Reranker
+        if rc.reranker == "flashrank-lite":
+            reranker = FlashrankLiteReranker(chunks)
+        else:
+            reranker = NvidiaSimReranker(chunks)
+        return RAGPipeline(
+            chat,
+            retriever=retriever,
+            keyword_search=kw,
+            reranker=reranker,
+            first_pass_k=rc.first_pass_k,
+            final_l=rc.final_l,
+        )
+    raise ConfigurationError(f"unknown pipeline mode {mode!r}")

@@ -1,0 +1,108 @@
+"""The full augmented workflow: boxes 1–4 plus shared history (Fig. 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import WorkflowConfig
+from repro.corpus.builder import CorpusBundle, build_default_corpus
+from repro.history import InteractionStore
+from repro.pipeline.rag import PipelineResult, RAGPipeline, build_rag_pipeline
+from repro.postprocess import check_code_block, extract_code_blocks, render_html
+from repro.postprocess.codecheck import CodeCheckResult
+
+
+@dataclass
+class WorkflowAnswer:
+    """A pipeline result plus box-4 postprocessing artifacts."""
+
+    result: PipelineResult
+    html: str
+    code_checks: list[CodeCheckResult]
+    interaction_id: str | None = None
+
+    @property
+    def answer(self) -> str:
+        return self.result.answer
+
+    @property
+    def all_code_ok(self) -> bool:
+        return all(c.ok for c in self.code_checks)
+
+
+class AugmentedWorkflow:
+    """End-to-end question answering with postprocessing and history.
+
+    One instance owns the corpus, the pipeline (in a chosen mode), the
+    interaction store, and the identifier set used for code checking.
+    """
+
+    def __init__(
+        self,
+        bundle: CorpusBundle,
+        pipeline: RAGPipeline,
+        *,
+        store: InteractionStore | None = None,
+        embedding_model: str = "",
+        record_history: bool = True,
+    ) -> None:
+        self.bundle = bundle
+        self.pipeline = pipeline
+        self.store = store if store is not None else InteractionStore()
+        self.embedding_model = embedding_model
+        self.record_history = record_history
+        self._known = frozenset(bundle.manual_page_names)
+
+    def feed_history_into_rag(self, *, min_mean_score: float = 3.0) -> int:
+        """Index vetted past interactions into the RAG database.
+
+        This is the paper's Fig. 3 dotted arrow from "Shared histories"
+        back into box 1: question/answer pairs whose blind scores cleared
+        ``min_mean_score`` become retrievable documents, so the assistant
+        learns from its vetted answers.  Returns the number of documents
+        added (idempotent: already-indexed interactions are skipped by
+        the store's doc-id dedupe).
+        """
+        if self.pipeline.retriever is None:
+            return 0
+        docs = self.store.as_documents(min_mean_score=min_mean_score)
+        added = self.pipeline.retriever.store.add_documents(docs)
+        return len(added)
+
+    def ask(self, question: str, *, tags: list[str] | None = None) -> WorkflowAnswer:
+        """Answer a question; postprocess and (optionally) record it."""
+        result = self.pipeline.answer(question)
+        html = render_html(result.answer)
+        checks = [
+            check_code_block(blk, known_identifiers=self._known)
+            for blk in extract_code_blocks(result.answer)
+        ]
+        interaction_id: str | None = None
+        if self.record_history:
+            rec = self.store.record_pipeline_result(
+                result, embedding_model=self.embedding_model, tags=tags
+            )
+            interaction_id = rec.interaction_id
+        return WorkflowAnswer(
+            result=result, html=html, code_checks=checks, interaction_id=interaction_id
+        )
+
+
+def build_workflow(
+    bundle: CorpusBundle | None = None,
+    config: WorkflowConfig | None = None,
+    *,
+    mode: str = "rag+rerank",
+    store: InteractionStore | None = None,
+) -> AugmentedWorkflow:
+    """One-call construction of the complete workflow."""
+    bundle = bundle or build_default_corpus()
+    config = config or WorkflowConfig()
+    pipeline = build_rag_pipeline(bundle, config, mode=mode)
+    return AugmentedWorkflow(
+        bundle,
+        pipeline,
+        store=store,
+        embedding_model=config.retrieval.embedding_model if mode != "baseline" else "",
+        record_history=config.record_history,
+    )

@@ -1,0 +1,38 @@
+"""Postprocessing of LLM output (paper Section III-E, box 4).
+
+The LLM returns Markdown; these tools parse it into blocks, detect
+itemized lists, extract code blocks and pass them to a compile check,
+and render HTML for web display.  A JSON-output mode mirrors the paper's
+note that structured model output removes the need to reverse-engineer
+Markdown.
+"""
+
+from repro.postprocess.markdown import (
+    Block,
+    CodeBlock,
+    Heading,
+    ListBlock,
+    Paragraph,
+    extract_code_blocks,
+    extract_lists,
+    parse_markdown,
+)
+from repro.postprocess.html import render_html
+from repro.postprocess.codecheck import CodeCheckResult, check_code_block
+from repro.postprocess.json_output import answer_to_json, json_to_answer
+
+__all__ = [
+    "Block",
+    "Paragraph",
+    "Heading",
+    "ListBlock",
+    "CodeBlock",
+    "parse_markdown",
+    "extract_code_blocks",
+    "extract_lists",
+    "render_html",
+    "CodeCheckResult",
+    "check_code_block",
+    "answer_to_json",
+    "json_to_answer",
+]

@@ -1,0 +1,136 @@
+"""Compile-check of code blocks in LLM answers (paper: "we automatically
+detect blocks of code and can pass them to a compiler to verify that
+they work").
+
+With no toolchain available offline, the "compiler" is a structural
+checker for the two languages our assistants emit: C (PETSc snippets)
+and console commands.  It catches the failure modes LLM code actually
+exhibits — unbalanced braces/parentheses, unterminated strings,
+statements missing semicolons, PETSc calls outside any function, and
+unknown PETSc identifiers (the code-level analogue of a hallucinated
+option).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.postprocess.markdown import CodeBlock
+from repro.utils.textproc import code_tokens
+
+_STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+_CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)'")
+_LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+_PAIRS = {"(": ")", "[": "]", "{": "}"}
+_CLOSERS = {v: k for k, v in _PAIRS.items()}
+
+
+@dataclass
+class CodeCheckResult:
+    ok: bool
+    language: str
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    unknown_identifiers: list[str] = field(default_factory=list)
+
+
+def _strip_strings_and_comments(code: str) -> tuple[str, list[str]]:
+    errors: list[str] = []
+    code = _BLOCK_COMMENT_RE.sub(" ", code)
+    if "/*" in code:
+        errors.append("unterminated block comment")
+        code = code.split("/*")[0]
+    code = _LINE_COMMENT_RE.sub(" ", code)
+    code = _CHAR_RE.sub("''", code)
+    stripped = _STRING_RE.sub('""', code)
+    for line_no, line in enumerate(stripped.splitlines(), start=1):
+        if line.count('"') % 2:
+            errors.append(f"line {line_no}: unterminated string literal")
+    return stripped, errors
+
+
+def _check_balance(code: str) -> list[str]:
+    stack: list[tuple[str, int]] = []
+    errors: list[str] = []
+    for line_no, line in enumerate(code.splitlines(), start=1):
+        for ch in line:
+            if ch in _PAIRS:
+                stack.append((ch, line_no))
+            elif ch in _CLOSERS:
+                if not stack or stack[-1][0] != _CLOSERS[ch]:
+                    errors.append(f"line {line_no}: unbalanced {ch!r}")
+                    return errors
+                stack.pop()
+    for ch, line_no in stack:
+        errors.append(f"line {line_no}: unclosed {ch!r}")
+    return errors
+
+
+def check_code_block(
+    block: CodeBlock,
+    *,
+    known_identifiers: frozenset[str] = frozenset(),
+) -> CodeCheckResult:
+    """Structurally verify one code block.
+
+    ``known_identifiers`` (manual-page names) powers hallucinated-API
+    detection: PETSc-style identifiers not found in the corpus are
+    reported, and unknown ``Petsc``/``KSP``/``Mat``/``Vec``/``PC``-prefixed
+    calls are errors.
+    """
+    language = block.language or ("c" if ";" in block.code else "console")
+    if language in ("console", "bash", "sh", "shell"):
+        return _check_console(block, known_identifiers)
+
+    stripped, errors = _strip_strings_and_comments(block.code)
+    errors.extend(_check_balance(stripped))
+
+    # Statement lines (heuristic): inside code, a line that looks like a
+    # call or assignment must end with ';', ',', an opener, or a closer.
+    for line_no, line in enumerate(stripped.splitlines(), start=1):
+        s = line.strip()
+        if not s or s.startswith("#"):
+            continue
+        if re.match(r"^[A-Za-z_][A-Za-z0-9_]*\s*\(.*\)$", s) and not re.match(
+            r"^(void|int|double|float|char|static|PetscErrorCode|PetscInt|PetscReal)\b", s
+        ):
+            # A complete call expression with no ';' is a statement error
+            # (function *signatures* start with a type keyword and pass).
+            errors.append(f"line {line_no}: statement missing ';'")
+            continue
+        if s.endswith((";", "{", "}", ",", "(", ")", ":")):
+            continue
+
+    unknown: list[str] = []
+    warnings: list[str] = []
+    if known_identifiers:
+        for ident in dict.fromkeys(code_tokens(stripped)):
+            if ident.startswith("-"):
+                continue
+            if re.match(r"^(Petsc|KSP|PC|Mat|Vec|SNES|TS)[A-Za-z0-9_]*$", ident):
+                if ident not in known_identifiers and not ident.isupper():
+                    unknown.append(ident)
+    if unknown:
+        errors.append(f"unknown PETSc identifiers: {', '.join(unknown)}")
+
+    return CodeCheckResult(
+        ok=not errors,
+        language="c",
+        errors=errors,
+        warnings=warnings,
+        unknown_identifiers=unknown,
+    )
+
+
+def _check_console(block: CodeBlock, known_identifiers: frozenset[str]) -> CodeCheckResult:
+    errors: list[str] = []
+    for line_no, line in enumerate(block.code.splitlines(), start=1):
+        s = line.strip()
+        if not s or s.startswith("#"):
+            continue
+        if s.count('"') % 2 or s.count("'") % 2:
+            errors.append(f"line {line_no}: unbalanced quotes")
+    return CodeCheckResult(ok=not errors, language="console", errors=errors)

@@ -1,0 +1,43 @@
+"""Markdown → HTML rendering for web display of assistant answers."""
+
+from __future__ import annotations
+
+import html
+import re
+
+from repro.postprocess.markdown import Block, CodeBlock, Heading, ListBlock, Paragraph, parse_markdown
+
+_INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+_BOLD_RE = re.compile(r"\*\*([^*]+)\*\*")
+_ITALIC_RE = re.compile(r"(?<!\*)\*([^*]+)\*(?!\*)")
+_LINK_RE = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+
+
+def _render_inline(text: str) -> str:
+    escaped = html.escape(text, quote=False)
+    escaped = _INLINE_CODE_RE.sub(lambda m: f"<code>{m.group(1)}</code>", escaped)
+    escaped = _BOLD_RE.sub(lambda m: f"<strong>{m.group(1)}</strong>", escaped)
+    escaped = _ITALIC_RE.sub(lambda m: f"<em>{m.group(1)}</em>", escaped)
+    escaped = _LINK_RE.sub(lambda m: f'<a href="{m.group(2)}">{m.group(1)}</a>', escaped)
+    return escaped
+
+
+def _render_block(block: Block) -> str:
+    if isinstance(block, Paragraph):
+        return f"<p>{_render_inline(block.text)}</p>"
+    if isinstance(block, Heading):
+        lvl = min(max(block.level, 1), 6)
+        return f"<h{lvl}>{_render_inline(block.text)}</h{lvl}>"
+    if isinstance(block, ListBlock):
+        tag = "ol" if block.ordered else "ul"
+        items = "".join(f"<li>{_render_inline(i)}</li>" for i in block.items)
+        return f"<{tag}>{items}</{tag}>"
+    if isinstance(block, CodeBlock):
+        cls = f' class="language-{block.language}"' if block.language else ""
+        return f"<pre><code{cls}>{html.escape(block.code)}</code></pre>"
+    raise TypeError(f"unknown block type {type(block).__name__}")
+
+
+def render_html(markdown_text: str) -> str:
+    """Render an assistant answer to display-ready HTML."""
+    return "\n".join(_render_block(b) for b in parse_markdown(markdown_text))

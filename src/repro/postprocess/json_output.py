@@ -1,0 +1,59 @@
+"""Structured (JSON) answer format.
+
+The paper notes LLMs can now return JSON, "making postprocessing easier
+since we do not have to reverse engineer the LLM output."  These helpers
+define that structured format: a round-trippable JSON encoding of the
+parsed answer blocks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import PostprocessError
+from repro.postprocess.markdown import Block, CodeBlock, Heading, ListBlock, Paragraph, parse_markdown
+
+
+def _block_to_obj(block: Block) -> dict[str, Any]:
+    if isinstance(block, Paragraph):
+        return {"type": "paragraph", "text": block.text}
+    if isinstance(block, Heading):
+        return {"type": "heading", "level": block.level, "text": block.text}
+    if isinstance(block, ListBlock):
+        return {"type": "list", "ordered": block.ordered, "items": block.items}
+    if isinstance(block, CodeBlock):
+        return {"type": "code", "language": block.language, "code": block.code}
+    raise PostprocessError(f"unknown block type {type(block).__name__}")
+
+
+def answer_to_json(markdown_text: str) -> str:
+    """Encode an answer's structure as JSON."""
+    blocks = [_block_to_obj(b) for b in parse_markdown(markdown_text)]
+    return json.dumps({"blocks": blocks}, indent=2)
+
+
+def json_to_answer(payload: str) -> str:
+    """Render a JSON-structured answer back to Markdown."""
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise PostprocessError(f"invalid JSON answer: {exc}") from exc
+    if not isinstance(obj, dict) or "blocks" not in obj:
+        raise PostprocessError("JSON answer must be an object with a 'blocks' key")
+    parts: list[str] = []
+    for i, blk in enumerate(obj["blocks"]):
+        btype = blk.get("type")
+        if btype == "paragraph":
+            parts.append(str(blk["text"]))
+        elif btype == "heading":
+            parts.append("#" * int(blk.get("level", 1)) + " " + str(blk["text"]))
+        elif btype == "list":
+            marker = "1." if blk.get("ordered") else "-"
+            parts.append("\n".join(f"{marker} {item}" for item in blk["items"]))
+        elif btype == "code":
+            lang = blk.get("language", "")
+            parts.append(f"```{lang}\n{blk['code']}\n```")
+        else:
+            raise PostprocessError(f"blocks[{i}]: unknown block type {btype!r}")
+    return "\n\n".join(parts)

@@ -1,0 +1,115 @@
+"""A small Markdown block parser tuned to LLM output.
+
+Handles the structures our assistants actually emit: paragraphs,
+headings, fenced code blocks (with language tags), and itemized /
+numbered lists.  Inline markup (bold/italic/inline code/links) is
+preserved in the text and handled by the HTML renderer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_FENCE_RE = re.compile(r"^```([A-Za-z0-9_+-]*)\s*$")
+_BULLET_RE = re.compile(r"^\s*[-*+]\s+(.*)$")
+_NUMBERED_RE = re.compile(r"^\s*(\d+)[.)]\s+(.*)$")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+@dataclass
+class Block:
+    """Base class for parsed Markdown blocks."""
+
+
+@dataclass
+class Paragraph(Block):
+    text: str
+
+
+@dataclass
+class Heading(Block):
+    level: int
+    text: str
+
+
+@dataclass
+class ListBlock(Block):
+    items: list[str] = field(default_factory=list)
+    ordered: bool = False
+
+
+@dataclass
+class CodeBlock(Block):
+    code: str
+    language: str = ""
+
+
+def parse_markdown(text: str) -> list[Block]:
+    """Parse Markdown into a flat list of blocks."""
+    blocks: list[Block] = []
+    lines = text.splitlines()
+    i = 0
+    para: list[str] = []
+
+    def flush_para() -> None:
+        if para:
+            blocks.append(Paragraph(text=" ".join(s.strip() for s in para)))
+            para.clear()
+
+    while i < len(lines):
+        line = lines[i]
+        fence = _FENCE_RE.match(line)
+        if fence:
+            flush_para()
+            language = fence.group(1)
+            code: list[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                code.append(lines[i])
+                i += 1
+            i += 1  # skip closing fence (or run off the end gracefully)
+            blocks.append(CodeBlock(code="\n".join(code), language=language))
+            continue
+        heading = _HEADING_RE.match(line)
+        if heading:
+            flush_para()
+            blocks.append(Heading(level=len(heading.group(1)), text=heading.group(2).strip()))
+            i += 1
+            continue
+        bullet = _BULLET_RE.match(line)
+        numbered = _NUMBERED_RE.match(line)
+        if bullet or numbered:
+            flush_para()
+            ordered = bool(numbered)
+            items: list[str] = []
+            while i < len(lines):
+                b = _BULLET_RE.match(lines[i])
+                n = _NUMBERED_RE.match(lines[i])
+                if ordered and n:
+                    items.append(n.group(2).strip())
+                elif not ordered and b:
+                    items.append(b.group(1).strip())
+                else:
+                    break
+                i += 1
+            blocks.append(ListBlock(items=items, ordered=ordered))
+            continue
+        if not line.strip():
+            flush_para()
+            i += 1
+            continue
+        para.append(line)
+        i += 1
+    flush_para()
+    return blocks
+
+
+def extract_code_blocks(text: str) -> list[CodeBlock]:
+    """All fenced code blocks in ``text``."""
+    return [b for b in parse_markdown(text) if isinstance(b, CodeBlock)]
+
+
+def extract_lists(text: str) -> list[ListBlock]:
+    """All itemized/numbered lists in ``text``."""
+    return [b for b in parse_markdown(text) if isinstance(b, ListBlock)]

@@ -1,0 +1,51 @@
+"""Retrieve-K-then-rerank-to-L composition (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RerankError
+from repro.rerank.base import Reranker, RerankResult
+from repro.retrieval.base import RetrievedDocument, Retriever
+
+
+@dataclass
+class RerankingRetriever(Retriever):
+    """First-pass retriever + reranker, exposed as a single retriever.
+
+    The paper generates ``K = 8`` candidates in the first pass and
+    refines them to ``L = 4`` documents with the reranker.
+    """
+
+    retriever: Retriever
+    reranker: Reranker
+    first_pass_k: int = 8
+    min_score: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.first_pass_k <= 0:
+            raise RerankError(f"first_pass_k must be positive, got {self.first_pass_k}")
+
+    def retrieve(self, query: str, *, k: int = 4) -> list[RetrievedDocument]:
+        if k > self.first_pass_k:
+            raise RerankError(
+                f"cannot keep k={k} documents from a first pass of {self.first_pass_k}"
+            )
+        candidates = self.retriever.retrieve(query, k=self.first_pass_k)
+        results = self.reranker.rerank(query, candidates, top_n=k, min_score=self.min_score)
+        return [
+            RetrievedDocument(
+                document=r.document.document,
+                score=r.rerank_score,
+                origin=f"rerank[{self.reranker.name}]",
+            )
+            for r in results
+        ]
+
+    def retrieve_detailed(
+        self, query: str, *, k: int = 4
+    ) -> tuple[list[RetrievedDocument], list[RerankResult]]:
+        """Candidates and rerank results, for instrumentation/case studies."""
+        candidates = self.retriever.retrieve(query, k=self.first_pass_k)
+        results = self.reranker.rerank(query, candidates, top_n=k, min_score=self.min_score)
+        return candidates, results

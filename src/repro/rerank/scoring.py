@@ -1,0 +1,218 @@
+"""Token-interaction relevance scoring shared by the rerankers.
+
+A cross-encoder sees query and document *together*, so it can reward
+exact phrase matches, rare-term coverage, and term proximity — signals a
+bi-encoder (separate embeddings) necessarily blurs.  The scorer here
+implements those signals explicitly:
+
+``coverage``   IDF-weighted fraction of query terms present in the doc,
+               computed over *stemmed* tokens and expanded through a
+               small domain concept lexicon (a trained reranker knows
+               that "measure where the time goes" is profiling)
+``identifier`` exact case-sensitive match of PETSc identifiers
+``bigram``     query bigrams appearing verbatim in the doc
+``proximity``  smallest document window containing the matched terms
+``focus``      mild penalty for very long chunks (dilute content)
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.documents import Document
+from repro.utils.textproc import (
+    code_tokens,
+    stem,
+    stemmed_tokens,
+    tokenize_with_stopwords,
+    word_ngrams,
+)
+
+#: Concept clusters (stem space): a trained domain reranker's notion of
+#: near-synonyms.  Each group maps query terms onto document terms that
+#: express the same concept.
+_CONCEPT_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("time", "timing", "measur", "profil", "performanc", "summary", "flop", "-log_view"),
+    ("memory", "allocat", "storag", "restart"),
+    ("print", "display", "show", "view", "monitor", "output"),
+    ("fail", "error", "diverg", "breakdown", "stopp", "wrong"),
+    ("rectangular", "square", "overdetermined", "underdetermined", "least"),
+    ("transpos", "adjoint"),
+    ("scal", "scalability", "rank", "process", "reduct", "synchron", "latency",
+     "bottleneck", "pipelin"),
+    ("default", "choos", "pick"),
+    ("preconditio", "pc"),
+    ("singular", "null", "nullspac", "neumann"),
+    ("assembl", "setvalu", "prealloc", "insert"),
+    ("stagnat", "converg", "toler", "rtol"),
+    ("sufficient", "insufficient", "success", "report", "malloc", "diagnos"),
+)
+
+
+def _concept_index() -> dict[str, int]:
+    index: dict[str, int] = {}
+    for gid, group in enumerate(_CONCEPT_GROUPS):
+        for term in group:
+            index[term] = gid
+    return index
+
+
+_CONCEPT_OF: dict[str, int] = _concept_index()
+
+
+def _concept(token: str) -> int | None:
+    """The concept-group id of a (stemmed) token, by prefix match."""
+    if token in _CONCEPT_OF:
+        return _CONCEPT_OF[token]
+    for term, gid in _CONCEPT_OF.items():
+        if len(term) >= 4 and token.startswith(term):
+            return gid
+    return None
+
+
+def build_idf(documents: list[Document]) -> dict[str, float]:
+    """Smoothed IDF over a document collection (stem space)."""
+    df: Counter[str] = Counter()
+    for doc in documents:
+        df.update(set(stemmed_tokens(doc.text)))
+    n = max(len(documents), 1)
+    return {t: math.log((1 + n) / (1 + c)) + 1.0 for t, c in df.items()}
+
+
+class InteractionScorer:
+    """Computes the weighted sum of the interaction features.
+
+    Parameters are feature weights; the two rerankers instantiate this
+    with different weights (and the NVIDIA simulation adds the expensive
+    proximity feature).
+    """
+
+    def __init__(
+        self,
+        *,
+        idf: dict[str, float] | None = None,
+        w_coverage: float = 1.0,
+        w_identifier: float = 0.8,
+        w_bigram: float = 0.5,
+        w_proximity: float = 0.0,
+        w_focus: float = 0.15,
+        focus_chars: int = 900,
+    ) -> None:
+        self.idf = idf or {}
+        self.default_idf = max(self.idf.values()) if self.idf else 1.0
+        self.w_coverage = w_coverage
+        self.w_identifier = w_identifier
+        self.w_bigram = w_bigram
+        self.w_proximity = w_proximity
+        self.w_focus = w_focus
+        self.focus_chars = focus_chars
+        # Document-side features are query-independent; candidates repeat
+        # heavily across queries, so cache them (bounded by corpus size).
+        self._doc_cache: dict[int, tuple[list[str], set[str], set[int], set[tuple[str, str]]]] = {}
+
+    # ------------------------------------------------------------------ features
+    def _coverage(self, q_terms: set[str], d_terms: set[str], d_concepts: set[int]) -> float:
+        if not q_terms:
+            return 0.0
+        total = 0.0
+        hit = 0.0
+        for t in q_terms:
+            w = self.idf.get(t, self.default_idf)
+            total += w
+            if t in d_terms:
+                hit += w
+            else:
+                gid = _concept(t)
+                if gid is not None and gid in d_concepts:
+                    hit += 0.7 * w  # synonym match: strong but below exact
+        if total <= 0:
+            return 0.0
+        # Saturating matched-mass factor: a tiny page matching three weak
+        # terms must not outscore a substantive section matching eight.
+        mass = hit / (hit + 6.0)
+        return (hit / total) * (0.4 + 1.2 * mass)
+
+    @staticmethod
+    def _identifier(query: str, text: str) -> float:
+        idents = set(code_tokens(query))
+        if not idents:
+            return 0.0
+        present = sum(1 for i in idents if i in text)
+        return present / len(idents)
+
+    @staticmethod
+    def _bigram(q_tokens: list[str], d_bigrams: set[tuple[str, str]]) -> float:
+        q_bigrams = set(word_ngrams(q_tokens, 2))
+        if not q_bigrams:
+            return 0.0
+        return len(q_bigrams & d_bigrams) / len(q_bigrams)
+
+    @staticmethod
+    def _proximity(q_terms: set[str], d_tokens: list[str]) -> float:
+        """1 / window: the tightest document window covering the matched terms.
+
+        This is the token-interaction-matrix part — O(|doc|) with a
+        sliding window, the dominant cost of the heavy reranker.
+        """
+        targets = q_terms & set(d_tokens)
+        if len(targets) < 2:
+            return 1.0 if targets else 0.0
+        need = len(targets)
+        have: Counter[str] = Counter()
+        count = 0
+        best = len(d_tokens) + 1
+        left = 0
+        for right, tok in enumerate(d_tokens):
+            if tok in targets:
+                have[tok] += 1
+                if have[tok] == 1:
+                    count += 1
+            while count == need:
+                best = min(best, right - left + 1)
+                lt = d_tokens[left]
+                if lt in targets:
+                    have[lt] -= 1
+                    if have[lt] == 0:
+                        count -= 1
+                left += 1
+        if best > len(d_tokens):
+            return 0.0
+        return need / best  # dense co-occurrence → close to 1
+
+    def _focus(self, text: str) -> float:
+        if len(text) <= self.focus_chars:
+            return 0.0
+        return math.log(len(text) / self.focus_chars)
+
+    # ------------------------------------------------------------------ scoring
+    def _doc_features(self, text: str) -> tuple[list[str], set[str], set[int], set[tuple[str, str]]]:
+        key = hash(text)
+        cached = self._doc_cache.get(key)
+        if cached is not None:
+            return cached
+        d_stems = stemmed_tokens(text)
+        d_terms = set(d_stems)
+        d_concepts = {g for g in (_concept(t) for t in d_terms) if g is not None}
+        d_bigrams = set(word_ngrams([stem(t) for t in tokenize_with_stopwords(text)], 2))
+        features = (d_stems, d_terms, d_concepts, d_bigrams)
+        self._doc_cache[key] = features
+        return features
+
+    def score(self, query: str, text: str) -> float:
+        q_stems = stemmed_tokens(query)
+        q_terms = set(q_stems)
+        d_stems, d_terms, d_concepts, d_bigrams = self._doc_features(text)
+        s = self.w_coverage * self._coverage(q_terms, d_terms, d_concepts)
+        s += self.w_identifier * self._identifier(query, text)
+        q_all = [stem(t) for t in tokenize_with_stopwords(query)]
+        s += self.w_bigram * self._bigram(q_all, d_bigrams)
+        if self.w_proximity:
+            s += self.w_proximity * self._proximity(q_terms, d_stems)
+        s -= self.w_focus * self._focus(text)
+        return s
+
+    def score_batch(self, query: str, texts: list[str]) -> np.ndarray:
+        return np.array([self.score(query, t) for t in texts], dtype=np.float64)

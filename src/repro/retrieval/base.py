@@ -1,0 +1,50 @@
+"""Retriever interface shared by vector, BM25, keyword and hybrid retrieval."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.documents import Document
+
+
+@dataclass
+class RetrievedDocument:
+    """A document plus where/why it was retrieved.
+
+    ``origin`` records the stage that produced it (``"vector"``,
+    ``"bm25"``, ``"keyword"``, ``"hybrid"``); the rerank pipeline and the
+    interaction-history database both log it, mirroring the paper's
+    emphasis on giving developers visibility into what was passed to the
+    LLM.
+    """
+
+    document: Document
+    score: float
+    origin: str
+
+    @property
+    def doc_id(self) -> str:
+        return self.document.doc_id
+
+
+class Retriever(ABC):
+    """Returns the top-k most relevant documents for a query string."""
+
+    @abstractmethod
+    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+        """Top-k documents, best first."""
+
+    def __call__(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+        return self.retrieve(query, k=k)
+
+
+def dedupe_by_id(hits: list[RetrievedDocument]) -> list[RetrievedDocument]:
+    """Drop later duplicates (same doc_id), preserving order."""
+    seen: set[str] = set()
+    out: list[RetrievedDocument] = []
+    for hit in hits:
+        if hit.doc_id not in seen:
+            seen.add(hit.doc_id)
+            out.append(hit)
+    return out

@@ -1,0 +1,84 @@
+"""BM25 (Okapi) lexical retrieval, vectorized with NumPy.
+
+The postings are stored CSR-style (one concatenated array of document
+indices plus per-term slices), so scoring a query is a handful of
+vectorized scatter-adds rather than a Python loop over documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.documents import Document
+from repro.errors import RetrievalError
+from repro.retrieval.base import RetrievedDocument, Retriever
+from repro.embeddings.similarity import top_k_indices
+from repro.utils.textproc import tokenize
+
+
+class BM25Retriever(Retriever):
+    """Okapi BM25 with the standard k1/b parametrization."""
+
+    def __init__(self, documents: list[Document], *, k1: float = 1.5, b: float = 0.75) -> None:
+        if not documents:
+            raise RetrievalError("BM25 needs at least one document")
+        if k1 < 0 or not 0 <= b <= 1:
+            raise RetrievalError(f"invalid BM25 parameters k1={k1}, b={b}")
+        self.documents = list(documents)
+        self.k1 = k1
+        self.b = b
+
+        n_docs = len(documents)
+        doc_lens = np.zeros(n_docs, dtype=np.float64)
+        # term -> {doc index -> tf}
+        postings: dict[str, dict[int, int]] = {}
+        for i, doc in enumerate(documents):
+            toks = tokenize(doc.text)
+            doc_lens[i] = len(toks)
+            for t in toks:
+                postings.setdefault(t, {}).setdefault(i, 0)
+                postings[t][i] += 1
+
+        self._avgdl = float(doc_lens.mean()) if doc_lens.size else 0.0
+        self._doc_lens = doc_lens
+        # CSR-ish storage: for each term, contiguous (doc_idx, tf) slices.
+        self._term_slices: dict[str, tuple[int, int]] = {}
+        idx_chunks: list[np.ndarray] = []
+        tf_chunks: list[np.ndarray] = []
+        self._idf: dict[str, float] = {}
+        offset = 0
+        for term, posting in postings.items():
+            docs = np.fromiter(posting.keys(), dtype=np.int64, count=len(posting))
+            tfs = np.fromiter(posting.values(), dtype=np.float64, count=len(posting))
+            idx_chunks.append(docs)
+            tf_chunks.append(tfs)
+            self._term_slices[term] = (offset, offset + docs.size)
+            offset += docs.size
+            df = docs.size
+            self._idf[term] = float(np.log(1.0 + (n_docs - df + 0.5) / (df + 0.5)))
+        self._post_docs = np.concatenate(idx_chunks) if idx_chunks else np.empty(0, np.int64)
+        self._post_tfs = np.concatenate(tf_chunks) if tf_chunks else np.empty(0, np.float64)
+        # Precompute the per-document length normalization denominator part.
+        self._len_norm = self.k1 * (1.0 - self.b + self.b * doc_lens / max(self._avgdl, 1e-12))
+
+    def score(self, query: str) -> np.ndarray:
+        """BM25 scores for every document (dense vector)."""
+        scores = np.zeros(len(self.documents), dtype=np.float64)
+        for term in set(tokenize(query)):
+            sl = self._term_slices.get(term)
+            if sl is None:
+                continue
+            docs = self._post_docs[sl[0] : sl[1]]
+            tfs = self._post_tfs[sl[0] : sl[1]]
+            contrib = self._idf[term] * tfs * (self.k1 + 1.0) / (tfs + self._len_norm[docs])
+            np.add.at(scores, docs, contrib)
+        return scores
+
+    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+        scores = self.score(query)
+        idx = top_k_indices(scores, k)
+        return [
+            RetrievedDocument(document=self.documents[i], score=float(scores[i]), origin="bm25")
+            for i in idx
+            if scores[i] > 0.0
+        ]

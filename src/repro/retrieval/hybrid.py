@@ -1,0 +1,49 @@
+"""Hybrid retrieval via reciprocal rank fusion (RRF)."""
+
+from __future__ import annotations
+
+from repro.errors import RetrievalError
+from repro.retrieval.base import RetrievedDocument, Retriever, dedupe_by_id
+
+
+def reciprocal_rank_fusion(
+    result_lists: list[list[RetrievedDocument]],
+    *,
+    k: int = 8,
+    rrf_k: float = 60.0,
+) -> list[RetrievedDocument]:
+    """Fuse ranked lists with RRF: score(d) = Σ 1 / (rrf_k + rank_i(d)).
+
+    The standard rank-based fusion — robust to incomparable score scales
+    across vector, BM25 and keyword retrievers.
+    """
+    if rrf_k <= 0:
+        raise RetrievalError(f"rrf_k must be positive, got {rrf_k}")
+    fused: dict[str, tuple[float, RetrievedDocument]] = {}
+    for hits in result_lists:
+        for rank, hit in enumerate(hits, start=1):
+            score = 1.0 / (rrf_k + rank)
+            if hit.doc_id in fused:
+                prev_score, prev_hit = fused[hit.doc_id]
+                fused[hit.doc_id] = (prev_score + score, prev_hit)
+            else:
+                fused[hit.doc_id] = (score, hit)
+    ranked = sorted(fused.values(), key=lambda t: -t[0])
+    return [
+        RetrievedDocument(document=h.document, score=s, origin="hybrid")
+        for s, h in ranked[:k]
+    ]
+
+
+class HybridRetriever(Retriever):
+    """Runs several retrievers and fuses their rankings with RRF."""
+
+    def __init__(self, retrievers: list[Retriever], *, rrf_k: float = 60.0) -> None:
+        if not retrievers:
+            raise RetrievalError("HybridRetriever needs at least one retriever")
+        self.retrievers = list(retrievers)
+        self.rrf_k = rrf_k
+
+    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+        lists = [dedupe_by_id(r.retrieve(query, k=k)) for r in self.retrievers]
+        return reciprocal_rank_fusion(lists, k=k, rrf_k=self.rrf_k)

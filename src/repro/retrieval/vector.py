@@ -1,0 +1,21 @@
+"""Dense vector retrieval over a :class:`~repro.vectorstore.VectorStore`."""
+
+from __future__ import annotations
+
+from repro.retrieval.base import RetrievedDocument, Retriever
+from repro.vectorstore import VectorStore
+
+
+class VectorRetriever(Retriever):
+    """Embedding similarity search (the RAG first pass, K=8 in the paper)."""
+
+    def __init__(self, store: VectorStore, *, where: dict | None = None) -> None:
+        self.store = store
+        self.where = where
+
+    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+        hits = self.store.similarity_search_with_score(query, k=k, where=self.where)
+        return [
+            RetrievedDocument(document=doc, score=score, origin="vector")
+            for doc, score in hits
+        ]

@@ -1,0 +1,30 @@
+"""Shared low-level utilities: text processing, timing, RNG, serialization."""
+
+from repro.utils.textproc import (
+    normalize_text,
+    sentences,
+    tokenize,
+    tokenize_with_stopwords,
+    word_ngrams,
+    STOPWORDS,
+)
+from repro.utils.timing import StageTimer, Timer, TimingStats
+from repro.utils.rng import derive_seed, stable_hash
+from repro.utils.serialization import dump_json, load_json, dataclass_to_dict
+
+__all__ = [
+    "normalize_text",
+    "sentences",
+    "tokenize",
+    "tokenize_with_stopwords",
+    "word_ngrams",
+    "STOPWORDS",
+    "StageTimer",
+    "Timer",
+    "TimingStats",
+    "derive_seed",
+    "stable_hash",
+    "dump_json",
+    "load_json",
+    "dataclass_to_dict",
+]

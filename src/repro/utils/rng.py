@@ -1,0 +1,40 @@
+"""Deterministic hashing and seed derivation.
+
+Python's builtin ``hash`` is salted per process, so anything that must be
+stable across runs (feature hashing for embeddings, simulated model
+behaviour, corpus shuffling) goes through :func:`stable_hash`, which is
+BLAKE2-based and keyed by an explicit namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(value: str, namespace: str = "") -> int:
+    """A 64-bit hash of ``value`` that is stable across processes.
+
+    ``namespace`` decorrelates different uses of the same string (e.g.
+    hashing a token for the embedding index vs. for its sign).
+    """
+    h = hashlib.blake2b(digest_size=8, person=namespace.encode()[:16] or b"repro")
+    h.update(value.encode("utf-8", errors="replace"))
+    return int.from_bytes(h.digest(), "little") & _MASK64
+
+
+def derive_seed(*parts: str | int) -> int:
+    """Derive a 32-bit RNG seed from heterogeneous parts, deterministically."""
+    h = hashlib.blake2b(digest_size=4)
+    for p in parts:
+        h.update(str(p).encode("utf-8", errors="replace"))
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest(), "little")
+
+
+def rng_for(*parts: str | int) -> np.random.Generator:
+    """A NumPy Generator seeded deterministically from ``parts``."""
+    return np.random.default_rng(derive_seed(*parts))

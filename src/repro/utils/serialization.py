@@ -1,0 +1,37 @@
+"""JSON (de)serialization helpers with dataclass support."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+
+def dataclass_to_dict(obj: Any) -> Any:
+    """Recursively convert dataclasses / containers to JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: dataclass_to_dict(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): dataclass_to_dict(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [dataclass_to_dict(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, Path):
+        return str(obj)
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def dump_json(path: str | Path, obj: Any, *, indent: int = 2) -> None:
+    """Write ``obj`` (dataclasses allowed) to ``path`` as JSON."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(dataclass_to_dict(obj), indent=indent, sort_keys=False))
+
+
+def load_json(path: str | Path) -> Any:
+    """Read a JSON file."""
+    return json.loads(Path(path).read_text())

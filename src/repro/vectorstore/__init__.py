@@ -1,0 +1,25 @@
+"""Chroma-like vector database.
+
+The paper feeds LangChain loader/splitter output into
+``Chroma.from_documents``; :class:`VectorStore` provides the same
+surface: ``from_documents``, ``similarity_search(_with_score)``,
+metadata ``where`` filters, deletion, persistence, and maximal marginal
+relevance search.  Exact brute-force kNN is the default index; an
+IVF-style coarse-quantized index is available for the approximate-search
+ablation.
+"""
+
+from repro.vectorstore.filters import matches_where
+from repro.vectorstore.index import BruteForceIndex, IVFIndex, VectorIndex
+from repro.vectorstore.store import VectorStore
+from repro.vectorstore.catalog import CatalogRetriever, DatabaseCatalog
+
+__all__ = [
+    "VectorStore",
+    "VectorIndex",
+    "BruteForceIndex",
+    "IVFIndex",
+    "matches_where",
+    "DatabaseCatalog",
+    "CatalogRetriever",
+]

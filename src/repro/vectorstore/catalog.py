@@ -1,0 +1,96 @@
+"""Named vector-database catalog (paper Section III-A).
+
+"multiple databases can be built for different embeddings ... Similar
+processes will be used for PETSc publications and the open PETSc mailing
+lists.  Developers and users will be able to choose which vector
+databases to use."
+
+:class:`DatabaseCatalog` holds named stores (e.g. ``docs``, ``mail``,
+``history``) and retrieves across any chosen subset, fusing the per-store
+rankings with reciprocal rank fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VectorStoreError
+from repro.retrieval.base import RetrievedDocument, Retriever
+from repro.retrieval.hybrid import reciprocal_rank_fusion
+from repro.vectorstore.store import VectorStore
+
+
+@dataclass
+class DatabaseCatalog:
+    """A registry of named vector stores with subset retrieval."""
+
+    stores: dict[str, VectorStore] = field(default_factory=dict)
+
+    def register(self, name: str, store: VectorStore) -> None:
+        if not name:
+            raise VectorStoreError("database name must be non-empty")
+        if name in self.stores:
+            raise VectorStoreError(f"database {name!r} is already registered")
+        self.stores[name] = store
+
+    def unregister(self, name: str) -> VectorStore:
+        try:
+            return self.stores.pop(name)
+        except KeyError:
+            raise VectorStoreError(f"no database named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self.stores)
+
+    def get(self, name: str) -> VectorStore:
+        try:
+            return self.stores[name]
+        except KeyError:
+            raise VectorStoreError(
+                f"no database named {name!r}; registered: {self.names()}"
+            ) from None
+
+    def search(
+        self,
+        query: str,
+        *,
+        databases: list[str] | None = None,
+        k: int = 8,
+        rrf_k: float = 60.0,
+    ) -> list[RetrievedDocument]:
+        """Top-k across the chosen databases (default: all), RRF-fused.
+
+        Each hit's ``origin`` records which database produced it, so the
+        developer-facing UI can show provenance per source.
+        """
+        chosen = databases if databases is not None else self.names()
+        if not chosen:
+            raise VectorStoreError("no databases selected")
+        ranked_lists: list[list[RetrievedDocument]] = []
+        for name in chosen:
+            store = self.get(name)
+            hits = [
+                RetrievedDocument(document=doc, score=score, origin=f"db:{name}")
+                for doc, score in store.similarity_search_with_score(query, k=k)
+            ]
+            ranked_lists.append(hits)
+        fused = reciprocal_rank_fusion(ranked_lists, k=k, rrf_k=rrf_k)
+        # Preserve per-database origins (RRF stamps "hybrid").
+        by_id = {h.doc_id: h.origin for hits in ranked_lists for h in hits}
+        return [
+            RetrievedDocument(
+                document=h.document, score=h.score, origin=by_id.get(h.doc_id, h.origin)
+            )
+            for h in fused
+        ]
+
+
+class CatalogRetriever(Retriever):
+    """A :class:`Retriever` view over a catalog subset, for pipelines."""
+
+    def __init__(self, catalog: DatabaseCatalog, *, databases: list[str] | None = None) -> None:
+        self.catalog = catalog
+        self.databases = databases
+
+    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+        return self.catalog.search(query, databases=self.databases, k=k)

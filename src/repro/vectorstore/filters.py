@@ -1,0 +1,59 @@
+"""Chroma-style metadata ``where`` filters.
+
+Supported operators::
+
+    {"doc_type": "manual_page"}                      # implicit $eq
+    {"doc_type": {"$eq": "manual_page"}}
+    {"chunk": {"$gt": 0}}, $gte, $lt, $lte, $ne
+    {"doc_type": {"$in": ["faq", "tutorial"]}}, $nin
+    {"title": {"$contains": "KSP"}}                  # substring on str()
+    {"$and": [ ... ]}, {"$or": [ ... ]}, {"$not": { ... }}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import VectorStoreError
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda a, b: a == b,
+    "$ne": lambda a, b: a != b,
+    "$gt": lambda a, b: a is not None and a > b,
+    "$gte": lambda a, b: a is not None and a >= b,
+    "$lt": lambda a, b: a is not None and a < b,
+    "$lte": lambda a, b: a is not None and a <= b,
+    "$in": lambda a, b: a in b,
+    "$nin": lambda a, b: a not in b,
+    "$contains": lambda a, b: str(b) in str(a),
+}
+
+
+def matches_where(metadata: dict[str, Any], where: dict[str, Any] | None) -> bool:
+    """Whether ``metadata`` satisfies the ``where`` clause (None = match all)."""
+    if not where:
+        return True
+    for key, cond in where.items():
+        if key == "$and":
+            if not all(matches_where(metadata, sub) for sub in cond):
+                return False
+        elif key == "$or":
+            if not any(matches_where(metadata, sub) for sub in cond):
+                return False
+        elif key == "$not":
+            if matches_where(metadata, cond):
+                return False
+        elif key.startswith("$"):
+            raise VectorStoreError(f"unknown logical operator {key!r}")
+        elif isinstance(cond, dict):
+            value = metadata.get(key)
+            for op, operand in cond.items():
+                cmp = _COMPARATORS.get(op)
+                if cmp is None:
+                    raise VectorStoreError(f"unknown comparison operator {op!r}")
+                if not cmp(value, operand):
+                    return False
+        else:
+            if metadata.get(key) != cond:
+                return False
+    return True

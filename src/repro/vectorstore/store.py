@@ -1,0 +1,225 @@
+"""The vector store: documents + embeddings + kNN index + persistence."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.documents import Document
+from repro.embeddings.base import EmbeddingModel
+from repro.errors import VectorStoreError
+from repro.vectorstore.filters import matches_where
+from repro.vectorstore.index import BruteForceIndex, VectorIndex
+
+
+class VectorStore:
+    """A Chroma-shaped collection of embedded documents.
+
+    Construction mirrors the paper's pipeline::
+
+        store = VectorStore.from_documents(chunks, embedding_model)
+        hits = store.similarity_search("What does KSPSolve do?", k=8)
+
+    Duplicate documents (same :attr:`Document.doc_id`) are skipped on
+    insert, so rebuilding a database over an unchanged corpus is
+    idempotent.
+    """
+
+    def __init__(
+        self,
+        embedding: EmbeddingModel,
+        *,
+        index: VectorIndex | None = None,
+        collection_name: str = "petsc-docs",
+    ) -> None:
+        self.embedding = embedding
+        self.collection_name = collection_name
+        self.index = index or BruteForceIndex(embedding.dim)
+        if self.index.dim != embedding.dim:
+            raise VectorStoreError(
+                f"index dim {self.index.dim} != embedding dim {embedding.dim}"
+            )
+        self._docs: list[Document] = []
+        self._ids: dict[str, int] = {}
+        self._deleted: set[int] = set()
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_documents(
+        cls,
+        documents: list[Document],
+        embedding: EmbeddingModel,
+        *,
+        index: VectorIndex | None = None,
+        collection_name: str = "petsc-docs",
+    ) -> "VectorStore":
+        store = cls(embedding, index=index, collection_name=collection_name)
+        store.add_documents(documents)
+        return store
+
+    def add_documents(self, documents: list[Document]) -> list[str]:
+        """Embed and insert documents; returns the ids actually added."""
+        fresh = [d for d in documents if d.doc_id not in self._ids]
+        # Dedupe within the batch as well.
+        unique: dict[str, Document] = {}
+        for d in fresh:
+            unique.setdefault(d.doc_id, d)
+        batch = list(unique.values())
+        if not batch:
+            return []
+        vectors = self.embedding.embed_documents([d.text for d in batch])
+        self.index.add(vectors)
+        added: list[str] = []
+        for d in batch:
+            self._ids[d.doc_id] = len(self._docs)
+            self._docs.append(d)
+            added.append(d.doc_id)
+        return added
+
+    def delete(self, ids: list[str]) -> int:
+        """Tombstone documents by id; returns how many were deleted."""
+        n = 0
+        for doc_id in ids:
+            row = self._ids.get(doc_id)
+            if row is not None and row not in self._deleted:
+                self._deleted.add(row)
+                n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._docs) - len(self._deleted)
+
+    def get(self, doc_id: str) -> Document:
+        row = self._ids.get(doc_id)
+        if row is None or row in self._deleted:
+            raise VectorStoreError(f"unknown document id {doc_id!r}")
+        return self._docs[row]
+
+    # ------------------------------------------------------------ search
+    def similarity_search_with_score(
+        self,
+        query: str,
+        *,
+        k: int = 4,
+        where: dict | None = None,
+    ) -> list[tuple[Document, float]]:
+        """Top-k documents by cosine similarity, with scores.
+
+        Filtering and tombstones are applied after the kNN scan by
+        over-fetching, which is exact as long as matches are not
+        vanishingly rare; the fetch width doubles until ``k`` matches are
+        found or the index is exhausted.
+        """
+        if k <= 0:
+            return []
+        qvec = self.embedding.embed_query(query)
+        fetch = k if (where is None and not self._deleted) else max(4 * k, 32)
+        while True:
+            idx, scores = self.index.search(qvec, fetch)
+            hits: list[tuple[Document, float]] = []
+            for i, s in zip(idx.tolist(), scores.tolist()):
+                if i in self._deleted:
+                    continue
+                doc = self._docs[i]
+                if matches_where(doc.metadata, where):
+                    hits.append((doc, float(s)))
+                    if len(hits) == k:
+                        return hits
+            if fetch >= self.index.size:
+                return hits
+            fetch = min(2 * fetch, self.index.size)
+
+    def similarity_search(
+        self, query: str, *, k: int = 4, where: dict | None = None
+    ) -> list[Document]:
+        return [doc for doc, _ in self.similarity_search_with_score(query, k=k, where=where)]
+
+    def max_marginal_relevance_search(
+        self,
+        query: str,
+        *,
+        k: int = 4,
+        fetch_k: int = 20,
+        lambda_mult: float = 0.5,
+        where: dict | None = None,
+    ) -> list[Document]:
+        """MMR search: trade off query relevance against mutual diversity."""
+        if not 0.0 <= lambda_mult <= 1.0:
+            raise VectorStoreError(f"lambda_mult must be in [0, 1], got {lambda_mult}")
+        candidates = self.similarity_search_with_score(query, k=max(fetch_k, k), where=where)
+        if not candidates:
+            return []
+        qvec = self.embedding.embed_query(query)
+        cand_vecs = self.embedding.embed_documents([d.text for d, _ in candidates])
+        rel = cand_vecs @ qvec
+        selected: list[int] = []
+        remaining = list(range(len(candidates)))
+        while remaining and len(selected) < k:
+            if not selected:
+                best = max(remaining, key=lambda i: rel[i])
+            else:
+                sel_mat = cand_vecs[selected]
+                # Max similarity of each remaining candidate to the picks.
+                redundancy = (cand_vecs[remaining] @ sel_mat.T).max(axis=1)
+                mmr = lambda_mult * rel[remaining] - (1.0 - lambda_mult) * redundancy
+                best = remaining[int(np.argmax(mmr))]
+            selected.append(best)
+            remaining.remove(best)
+        return [candidates[i][0] for i in selected]
+
+    # ------------------------------------------------------------ persistence
+    def save(self, directory: str | Path) -> Path:
+        """Persist documents + vectors; format is npz + jsonl + manifest."""
+        if not isinstance(self.index, BruteForceIndex):
+            raise VectorStoreError("only BruteForceIndex-backed stores can be persisted")
+        d = Path(directory)
+        d.mkdir(parents=True, exist_ok=True)
+        live = [i for i in range(len(self._docs)) if i not in self._deleted]
+        np.savez_compressed(d / "vectors.npz", vectors=self.index.matrix[live])
+        with (d / "documents.jsonl").open("w", encoding="utf-8") as fh:
+            for i in live:
+                doc = self._docs[i]
+                fh.write(json.dumps({"text": doc.text, "metadata": doc.metadata}) + "\n")
+        (d / "manifest.json").write_text(json.dumps({
+            "collection_name": self.collection_name,
+            "embedding_model": self.embedding.name,
+            "dim": self.embedding.dim,
+            "count": len(live),
+        }))
+        return d
+
+    @classmethod
+    def load(cls, directory: str | Path, embedding: EmbeddingModel) -> "VectorStore":
+        """Load a persisted store; the embedding model must match the manifest."""
+        d = Path(directory)
+        try:
+            manifest = json.loads((d / "manifest.json").read_text())
+        except OSError as exc:
+            raise VectorStoreError(f"cannot read manifest in {d}: {exc}") from exc
+        if manifest["embedding_model"] != embedding.name:
+            raise VectorStoreError(
+                f"store was built with {manifest['embedding_model']!r}, "
+                f"got {embedding.name!r}"
+            )
+        if manifest["dim"] != embedding.dim:
+            raise VectorStoreError(
+                f"store dim {manifest['dim']} != embedding dim {embedding.dim}"
+            )
+        vectors = np.load(d / "vectors.npz")["vectors"]
+        store = cls(embedding, collection_name=manifest["collection_name"])
+        docs: list[Document] = []
+        for line in (d / "documents.jsonl").read_text(encoding="utf-8").splitlines():
+            obj = json.loads(line)
+            docs.append(Document(text=obj["text"], metadata=obj["metadata"]))
+        if len(docs) != vectors.shape[0]:
+            raise VectorStoreError(
+                f"corrupt store: {len(docs)} documents but {vectors.shape[0]} vectors"
+            )
+        # Re-insert without re-embedding: push vectors straight into the index.
+        store.index.add(vectors)
+        for doc in docs:
+            store._ids[doc.doc_id] = len(store._docs)
+            store._docs.append(doc)
+        return store

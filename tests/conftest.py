@@ -1,0 +1,74 @@
+"""Shared fixtures: one corpus / store / pipeline set per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RetrievalConfig, WorkflowConfig
+from repro.corpus import build_default_corpus
+from repro.corpus.builder import chunk_corpus
+from repro.embeddings import create_embedding_model
+from repro.evaluation import BlindGrader
+from repro.pipeline import build_rag_pipeline
+from repro.retrieval import ManualPageKeywordSearch
+from repro.vectorstore import VectorStore
+
+
+@pytest.fixture(scope="session")
+def bundle():
+    return build_default_corpus()
+
+
+@pytest.fixture(scope="session")
+def registry(bundle):
+    return bundle.registry
+
+
+@pytest.fixture(scope="session")
+def chunks(bundle):
+    return chunk_corpus(bundle)
+
+
+@pytest.fixture(scope="session")
+def embedding(chunks):
+    return create_embedding_model(
+        "petsc-embed-large", corpus_texts=[c.text for c in chunks]
+    )
+
+
+@pytest.fixture(scope="session")
+def store(chunks, embedding):
+    return VectorStore.from_documents(chunks, embedding)
+
+
+@pytest.fixture(scope="session")
+def keyword_search(bundle):
+    return ManualPageKeywordSearch(bundle)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Workflow config with the latency burn disabled."""
+    return WorkflowConfig(iterations_per_token=0)
+
+
+@pytest.fixture(scope="session")
+def grader(bundle, keyword_search):
+    return BlindGrader(
+        registry=bundle.registry, known_identifiers=keyword_search.known_identifiers()
+    )
+
+
+@pytest.fixture(scope="session")
+def baseline_pipeline(bundle, fast_config):
+    return build_rag_pipeline(bundle, fast_config, mode="baseline")
+
+
+@pytest.fixture(scope="session")
+def rag_pipeline(bundle, fast_config):
+    return build_rag_pipeline(bundle, fast_config, mode="rag")
+
+
+@pytest.fixture(scope="session")
+def rerank_pipeline(bundle, fast_config):
+    return build_rag_pipeline(bundle, fast_config, mode="rag+rerank")

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_ask(self, capsys):
+        rc = main(["--fast", "ask", "What does KSPBurb do?"])
+        assert rc == 0
+        out = capsys.readouterr()
+        assert "no PETSc function" in out.out
+        assert "rag+rerank" in out.err
+
+    def test_ask_show_contexts(self, capsys):
+        rc = main(["--fast", "ask", "--show-contexts", "What is the default KSP type?"])
+        assert rc == 0
+        assert "contexts" in capsys.readouterr().err
+
+    def test_ask_baseline_mode(self, capsys):
+        rc = main(["--fast", "--mode", "baseline", "ask", "What is KSP?"])
+        assert rc == 0
+        assert "baseline" in capsys.readouterr().err
+
+    def test_corpus_dump(self, tmp_path, capsys):
+        rc = main(["corpus", "--out", str(tmp_path / "docs")])
+        assert rc == 0
+        assert "Markdown files" in capsys.readouterr().out
+        assert (tmp_path / "docs" / "faq.md").exists()
+
+    def test_casestudy(self, capsys):
+        rc = main(["--fast", "casestudy", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Case Study 2" in out
+        assert "-info" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--model", "gpt-99", "ask", "hi"])
+
+
+class TestHistoryFeedback:
+    def test_feed_history_into_rag(self, bundle, fast_config):
+        from repro.history import ScoreRecord
+        from repro.pipeline import build_workflow
+
+        wf = build_workflow(bundle, fast_config, mode="rag+rerank")
+        ans = wf.ask("How do I change the relative tolerance for a KSP solve?")
+        wf.store.add_score(ans.interaction_id, ScoreRecord(scorer="dev", score=4))
+
+        before = len(wf.pipeline.retriever.store)
+        added = wf.feed_history_into_rag(min_mean_score=3.0)
+        assert added == 1
+        assert len(wf.pipeline.retriever.store) == before + 1
+        # Idempotent: re-feeding the same interaction adds nothing.
+        assert wf.feed_history_into_rag(min_mean_score=3.0) == 0
+
+        # The vetted Q/A is now retrievable.
+        hits = wf.pipeline.retriever.store.similarity_search(
+            "change the relative tolerance for a KSP solve",
+            k=5, where={"doc_type": "history"},
+        )
+        assert hits
+
+    def test_feedback_noop_for_baseline(self, bundle, fast_config):
+        from repro.pipeline import build_workflow
+
+        wf = build_workflow(bundle, fast_config, mode="baseline")
+        wf.ask("anything")
+        assert wf.feed_history_into_rag() == 0

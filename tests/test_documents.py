@@ -1,0 +1,133 @@
+"""Unit tests for the Document type and loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documents import (
+    DirectoryLoader,
+    Document,
+    JsonLinesLoader,
+    MarkdownLoader,
+    TextLoader,
+)
+from repro.errors import DocumentError
+
+
+class TestDocument:
+    def test_doc_id_stable(self):
+        a = Document(text="hello", metadata={"source": "x.md", "chunk": 0})
+        b = Document(text="hello", metadata={"source": "x.md", "chunk": 0})
+        assert a.doc_id == b.doc_id
+
+    def test_doc_id_differs_by_chunk(self):
+        a = Document(text="hello", metadata={"source": "x.md", "chunk": 0})
+        b = Document(text="hello", metadata={"source": "x.md", "chunk": 1})
+        assert a.doc_id != b.doc_id
+
+    def test_fact_ids_parsing(self):
+        d = Document(text="t", metadata={"facts": "a.b, c.d ,"})
+        assert d.fact_ids() == frozenset({"a.b", "c.d"})
+
+    def test_fact_ids_empty(self):
+        assert Document(text="t").fact_ids() == frozenset()
+
+    def test_with_metadata_copies(self):
+        d = Document(text="t", metadata={"a": 1})
+        d2 = d.with_metadata(b=2)
+        assert d2.metadata == {"a": 1, "b": 2}
+        assert d.metadata == {"a": 1}
+
+    def test_len(self):
+        assert len(Document(text="abcd")) == 4
+
+
+class TestTextLoader:
+    def test_loads(self, tmp_path):
+        p = tmp_path / "f.txt"
+        p.write_text("content here")
+        docs = TextLoader(p).load()
+        assert len(docs) == 1
+        assert docs[0].text == "content here"
+        assert docs[0].metadata["source"] == str(p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DocumentError):
+            TextLoader(tmp_path / "nope.txt").load()
+
+
+class TestMarkdownLoader:
+    def test_title_from_h1(self, tmp_path):
+        p = tmp_path / "page.md"
+        p.write_text("# The Title\n\nBody text.\n")
+        (doc,) = MarkdownLoader(p).load()
+        assert doc.metadata["title"] == "The Title"
+
+    def test_frontmatter(self, tmp_path):
+        p = tmp_path / "page.md"
+        p.write_text("---\ntitle: Front\nlevel: beginner\n---\n# H\n\nBody.\n")
+        (doc,) = MarkdownLoader(p).load()
+        assert doc.metadata["title"] == "Front"
+        assert doc.metadata["level"] == "beginner"
+        assert "---" not in doc.text
+
+    def test_html_comments_stripped(self, tmp_path):
+        p = tmp_path / "page.md"
+        p.write_text("# T\n\n<!-- secret -->visible\n")
+        (doc,) = MarkdownLoader(p).load()
+        assert "secret" not in doc.text
+        assert "visible" in doc.text
+
+
+class TestJsonLinesLoader:
+    def test_loads_lines(self, tmp_path):
+        p = tmp_path / "a.jsonl"
+        p.write_text('{"text": "one", "sender": "x@y.z"}\n\n{"text": "two"}\n')
+        docs = JsonLinesLoader(p).load()
+        assert [d.text for d in docs] == ["one", "two"]
+        assert docs[0].metadata["sender"] == "x@y.z"
+        assert docs[0].metadata["source"].endswith("#L1")
+
+    def test_missing_text_key(self, tmp_path):
+        p = tmp_path / "a.jsonl"
+        p.write_text('{"body": "one"}\n')
+        with pytest.raises(DocumentError):
+            JsonLinesLoader(p).load()
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "a.jsonl"
+        p.write_text("not json\n")
+        with pytest.raises(DocumentError):
+            JsonLinesLoader(p).load()
+
+
+class TestDirectoryLoader:
+    def test_recursive_walk(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.md").write_text("# A\n\ntext\n")
+        (tmp_path / "sub" / "b.txt").write_text("b")
+        (tmp_path / "skip.bin").write_bytes(b"\x00")
+        docs = DirectoryLoader(tmp_path).load()
+        assert len(docs) == 2
+
+    def test_glob_filter(self, tmp_path):
+        (tmp_path / "a.md").write_text("# A\n")
+        (tmp_path / "b.txt").write_text("b")
+        docs = DirectoryLoader(tmp_path, glob="*.md").load()
+        assert len(docs) == 1
+
+    def test_non_recursive(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.txt").write_text("b")
+        docs = DirectoryLoader(tmp_path, recursive=False).load()
+        assert docs == []
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(DocumentError):
+            DirectoryLoader(tmp_path / "nope").load()
+
+    def test_deterministic_order(self, tmp_path):
+        for name in ("c.txt", "a.txt", "b.txt"):
+            (tmp_path / name).write_text(name)
+        docs = DirectoryLoader(tmp_path).load()
+        assert [d.text for d in docs] == ["a.txt", "b.txt", "c.txt"]

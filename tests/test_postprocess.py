@@ -1,0 +1,191 @@
+"""Tests for Markdown parsing, HTML rendering, code checking, JSON output."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PostprocessError
+from repro.postprocess import (
+    CodeBlock,
+    Heading,
+    ListBlock,
+    Paragraph,
+    answer_to_json,
+    check_code_block,
+    extract_code_blocks,
+    extract_lists,
+    json_to_answer,
+    parse_markdown,
+    render_html,
+)
+
+SAMPLE = """# Answer
+
+Intro paragraph here.
+
+- first item
+- second item
+
+1. step one
+2. step two
+
+```c
+KSPCreate(PETSC_COMM_WORLD, &ksp);
+```
+
+Closing words.
+"""
+
+
+class TestParseMarkdown:
+    def test_block_types(self):
+        blocks = parse_markdown(SAMPLE)
+        kinds = [type(b).__name__ for b in blocks]
+        assert kinds == ["Heading", "Paragraph", "ListBlock", "ListBlock", "CodeBlock", "Paragraph"]
+
+    def test_bullet_items(self):
+        lists = extract_lists(SAMPLE)
+        assert lists[0].items == ["first item", "second item"]
+        assert not lists[0].ordered
+
+    def test_numbered_items(self):
+        lists = extract_lists(SAMPLE)
+        assert lists[1].ordered
+        assert lists[1].items == ["step one", "step two"]
+
+    def test_code_block_language(self):
+        (code,) = extract_code_blocks(SAMPLE)
+        assert code.language == "c"
+        assert "KSPCreate" in code.code
+
+    def test_unterminated_fence_graceful(self):
+        blocks = parse_markdown("```c\nint x;\n")
+        assert isinstance(blocks[0], CodeBlock)
+
+    def test_multiline_paragraph_joined(self):
+        blocks = parse_markdown("line one\nline two\n")
+        assert blocks == [Paragraph(text="line one line two")]
+
+    def test_empty(self):
+        assert parse_markdown("") == []
+
+    @given(st.text(max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_never_raises(self, text):
+        parse_markdown(text)
+
+
+class TestRenderHtml:
+    def test_paragraph(self):
+        assert render_html("hello") == "<p>hello</p>"
+
+    def test_heading_levels(self):
+        assert render_html("## Two") == "<h2>Two</h2>"
+
+    def test_list(self):
+        html = render_html("- a\n- b")
+        assert html == "<ul><li>a</li><li>b</li></ul>"
+
+    def test_ordered_list(self):
+        assert render_html("1. a\n2. b") == "<ol><li>a</li><li>b</li></ol>"
+
+    def test_code_escaped(self):
+        html = render_html("```c\nif (a < b) {}\n```")
+        assert "&lt;" in html
+        assert 'class="language-c"' in html
+
+    def test_inline_markup(self):
+        html = render_html("use `KSPSolve` and **bold** and *em*")
+        assert "<code>KSPSolve</code>" in html
+        assert "<strong>bold</strong>" in html
+        assert "<em>em</em>" in html
+
+    def test_links(self):
+        html = render_html("[docs](https://petsc.org)")
+        assert '<a href="https://petsc.org">docs</a>' in html
+
+    def test_html_escaped_in_paragraph(self):
+        assert "<script>" not in render_html("<script>alert(1)</script>")
+
+
+class TestCodeCheck:
+    def _check(self, code, language="c", known=frozenset()):
+        return check_code_block(CodeBlock(code=code, language=language), known_identifiers=known)
+
+    def test_valid_c(self):
+        res = self._check("KSPCreate(PETSC_COMM_WORLD, &ksp);\nKSPSolve(ksp, b, x);\n",
+                          known=frozenset({"KSPCreate", "KSPSolve"}))
+        assert res.ok
+
+    def test_unbalanced_brace(self):
+        res = self._check("int main() { return 0;\n")
+        assert not res.ok
+        assert any("unclosed" in e for e in res.errors)
+
+    def test_unbalanced_paren(self):
+        res = self._check("foo(bar;\n")
+        assert not res.ok
+
+    def test_unterminated_string(self):
+        res = self._check('printf("hello;\n')
+        assert not res.ok
+
+    def test_missing_semicolon(self):
+        res = self._check("KSPSolve(ksp, b, x)")
+        assert not res.ok
+        assert any("missing ';'" in e for e in res.errors)
+
+    def test_unknown_identifier_flagged(self):
+        res = self._check("KSPBurbSet(ksp);", known=frozenset({"KSPSolve"}))
+        assert not res.ok
+        assert "KSPBurbSet" in res.unknown_identifiers
+
+    def test_comments_ignored(self):
+        res = self._check("/* unbalanced ( in comment */\nKSPSolve(a, b, c);",
+                          known=frozenset({"KSPSolve"}))
+        assert res.ok
+
+    def test_console_quotes(self):
+        res = self._check('mpiexec -n 4 ./app -ksp_type gmres', language="console")
+        assert res.ok
+        bad = self._check('echo "oops', language="bash")
+        assert not bad.ok
+
+    def test_console_comments_ok(self):
+        res = self._check("# a comment\n./app -pc_type lu", language="sh")
+        assert res.ok
+
+
+class TestJsonOutput:
+    def test_roundtrip(self):
+        payload = answer_to_json(SAMPLE)
+        back = json_to_answer(payload)
+        reparsed = parse_markdown(back)
+        original = parse_markdown(SAMPLE)
+        assert [type(b).__name__ for b in reparsed] == [type(b).__name__ for b in original]
+
+    def test_content_preserved(self):
+        back = json_to_answer(answer_to_json(SAMPLE))
+        assert "KSPCreate" in back
+        assert "first item" in back
+
+    def test_invalid_json(self):
+        with pytest.raises(PostprocessError):
+            json_to_answer("not json")
+
+    def test_missing_blocks_key(self):
+        with pytest.raises(PostprocessError):
+            json_to_answer('{"other": []}')
+
+    def test_unknown_block_type(self):
+        with pytest.raises(PostprocessError):
+            json_to_answer('{"blocks": [{"type": "video"}]}')
+
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_structure_stable(self, text):
+        payload = answer_to_json(text)
+        back = json_to_answer(payload)
+        # A second pass must be a fixed point structurally.
+        assert answer_to_json(back) == answer_to_json(json_to_answer(answer_to_json(back)))

