@@ -27,6 +27,7 @@ from repro.mail.gmail import GmailAccount
 from repro.mail.mailinglist import MailingList
 from repro.mail.message import EmailMessage
 from repro.pipeline.rag import build_rag_pipeline
+from repro.resilience import FaultInjector, RetryPolicy
 
 
 @dataclass
@@ -43,6 +44,8 @@ class SupportSystem:
     email_bot: EmailBot
     chatbot: PetscChatbot
     store: InteractionStore
+    #: The chaos source wired through the hops, when this is a chaos build.
+    fault_injector: FaultInjector | None = None
 
     # ------------------------------------------------------------ drivers
     def user_sends_email(self, sender: str, subject: str, body: str) -> EmailMessage:
@@ -69,15 +72,36 @@ def build_support_system(
     *,
     developers: tuple[str, ...] = ("barry", "junchao", "hong"),
     mode: str = "rag+rerank",
+    fault_injector: FaultInjector | None = None,
 ) -> SupportSystem:
-    """Assemble the full support topology over the (default) corpus."""
+    """Assemble the full support topology over the (default) corpus.
+
+    With a ``fault_injector``, every unreliable hop — mail delivery,
+    webhook post, retriever, reranker, LLM — is chaos-wrapped, and the
+    resilience layer keeps the chain up: delivery faults retry under the
+    policy, webhook faults land in the poller's dead-letter queue, and
+    pipeline faults walk the degradation ladder.
+    """
     bundle = bundle or build_default_corpus()
     config = config or WorkflowConfig()
 
     bot_email = "petscbot@gmail.com"
     mailing_list = MailingList("petsc-users", public_archive=True)
     account = GmailAccount(bot_email, ignore_senders={bot_email})
-    mailing_list.subscribe(account.address, account.deliver)
+    deliver = account.deliver
+    if fault_injector is not None:
+        chaos_deliver = fault_injector.wrap_callable("mail", account.deliver)
+        if config.resilience.enabled:
+            policy = RetryPolicy.from_config(config.resilience)
+
+            def deliver(message: EmailMessage) -> None:
+                policy.execute(
+                    lambda: chaos_deliver(message), key=("mail", message.message_id)
+                )
+
+        else:
+            deliver = chaos_deliver
+    mailing_list.subscribe(account.address, deliver)
 
     gateway = Gateway()
     server = Server(name="PETSc")
@@ -87,11 +111,16 @@ def build_support_system(
     server.create_forum_channel("petsc-users-emails", private=True)
 
     webhook = Webhook(channel=notif, name="petsc-users-hook", gateway=gateway)
-    poller = AppsScriptPoller(account=account, webhook_post=webhook.execute)
+    webhook_post = webhook.execute
+    if fault_injector is not None:
+        # Failed posts land in the poller's dead-letter queue and are
+        # redelivered on the next tick, so no wrapper retry here.
+        webhook_post = fault_injector.wrap_callable("webhook", webhook.execute)
+    poller = AppsScriptPoller(account=account, webhook_post=webhook_post)
 
     email_bot = EmailBot(server, gateway, account=account)
     store = InteractionStore()
-    pipeline = build_rag_pipeline(bundle, config, mode=mode)
+    pipeline = build_rag_pipeline(bundle, config, mode=mode, fault_injector=fault_injector)
     chatbot = PetscChatbot(
         server, gateway, pipeline=pipeline, mailing_list=mailing_list,
         bot_email=bot_email, store=store,
@@ -108,4 +137,5 @@ def build_support_system(
         email_bot=email_bot,
         chatbot=chatbot,
         store=store,
+        fault_injector=fault_injector,
     )

@@ -18,6 +18,10 @@ facilitate various use cases."  This module is that CLI:
 
 ``python -m repro casestudy {1,2}``
     Reproduce one of the paper's case studies (Figs. 7–8).
+
+``python -m repro chaos --seed N --transient-rate R``
+    Run the benchmark under seeded fault injection and report the
+    answer success rate, degradation mix, and reproducibility digests.
 """
 
 from __future__ import annotations
@@ -28,17 +32,20 @@ from typing import Sequence
 
 from repro.config import RetrievalConfig, WorkflowConfig
 from repro.corpus import CorpusBuilder, build_default_corpus
+from repro.errors import ReproError
 from repro.embeddings import EMBEDDING_MODEL_NAMES
 from repro.evaluation import (
     BlindGrader,
     compare_modes,
     render_comparison,
     render_score_histogram,
+    run_chaos_experiment,
     run_experiment,
 )
 from repro.evaluation.casestudies import CASE_STUDY_1_QID, CASE_STUDY_2_QID, run_case_study
 from repro.llm import CHAT_MODEL_NAMES
 from repro.pipeline import build_rag_pipeline
+from repro.resilience import FaultConfig
 from repro.retrieval import ManualPageKeywordSearch
 
 _MODES = ("baseline", "rag", "rag+rerank")
@@ -77,6 +84,21 @@ def _build_parser() -> argparse.ArgumentParser:
     case = sub.add_parser("casestudy", help="reproduce a paper case study")
     case.add_argument("number", type=int, choices=(1, 2))
 
+    chaos = sub.add_parser("chaos", help="run the benchmark under injected faults")
+    chaos.add_argument("--seed", type=int, default=0, help="fault-schedule seed")
+    chaos.add_argument(
+        "--transient-rate", type=float, default=0.3,
+        help="per-call probability of an injected transient error",
+    )
+    chaos.add_argument(
+        "--latency-rate", type=float, default=0.0,
+        help="per-call probability of an injected latency spike",
+    )
+    chaos.add_argument(
+        "--truncate-rate", type=float, default=0.0,
+        help="per-call probability of a truncated LLM reply",
+    )
+
     return parser
 
 
@@ -104,9 +126,12 @@ def cmd_ask(args: argparse.Namespace) -> int:
         print("\n-- contexts --", file=sys.stderr)
         for c in result.contexts:
             print(f"  {c.score:.3f}  {c.document.metadata.get('source')}", file=sys.stderr)
+    resilience_note = f" | attempts {result.attempts}" if result.attempts > 1 else ""
+    if result.degraded:
+        resilience_note += f" | degraded: {','.join(result.degraded)}"
     print(
         f"\n[{result.mode} | {result.model} | rag {1000 * result.rag_seconds:.1f} ms | "
-        f"llm {1000 * result.llm_seconds:.1f} ms]",
+        f"llm {1000 * result.llm_seconds:.1f} ms{resilience_note}]",
         file=sys.stderr,
     )
     return 0
@@ -158,18 +183,37 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    bundle = build_default_corpus()
+    fault_config = FaultConfig(
+        transient_rate=args.transient_rate,
+        latency_spike_rate=args.latency_rate,
+        truncation_rate=args.truncate_rate,
+    )
+    run = run_chaos_experiment(
+        bundle, _config(args), seed=args.seed, fault_config=fault_config, mode=args.mode
+    )
+    print(run.render(title=f"chaos sweep — {args.mode} ({args.model})"))
+    return 0
+
+
 _COMMANDS = {
     "ask": cmd_ask,
     "evaluate": cmd_evaluate,
     "compare": cmd_compare,
     "corpus": cmd_corpus,
     "casestudy": cmd_casestudy,
+    "chaos": cmd_chaos,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

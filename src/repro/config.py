@@ -37,11 +37,69 @@ class RetrievalConfig:
 
 
 @dataclass
+class ResilienceConfig:
+    """Retry / circuit-breaker / deadline parameters for the pipeline hops.
+
+    Backoff delays are derived deterministically from the retried call's
+    key via :func:`repro.utils.rng.rng_for`, so two runs of the same
+    workload produce identical schedules.
+    """
+
+    enabled: bool = True
+    #: Total tries per LLM call (1 = no retries).
+    max_attempts: int = 4
+    backoff_base_seconds: float = 0.05
+    backoff_max_seconds: float = 2.0
+    backoff_multiplier: float = 2.0
+    #: Jitter as a fraction of each delay, in [0, 1).
+    jitter: float = 0.25
+    #: Per-answer wall-clock budget; None disables the deadline.
+    deadline_seconds: float | None = None
+    #: Consecutive failures that trip the LLM breaker open.
+    breaker_failure_threshold: int = 8
+    breaker_recovery_seconds: float = 30.0
+    #: Probe successes required to close a half-open breaker.
+    breaker_half_open_max: int = 1
+
+    def validate(self) -> None:
+        if self.max_attempts <= 0:
+            raise ConfigurationError(f"max_attempts must be positive, got {self.max_attempts}")
+        if self.backoff_base_seconds < 0 or self.backoff_max_seconds < self.backoff_base_seconds:
+            raise ConfigurationError(
+                f"invalid backoff range: base={self.backoff_base_seconds}, "
+                f"max={self.backoff_max_seconds}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+        if self.breaker_failure_threshold <= 0:
+            raise ConfigurationError(
+                f"breaker_failure_threshold must be positive, got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_recovery_seconds < 0:
+            raise ConfigurationError(
+                f"breaker_recovery_seconds must be >= 0, got {self.breaker_recovery_seconds}"
+            )
+        if self.breaker_half_open_max <= 0:
+            raise ConfigurationError(
+                f"breaker_half_open_max must be positive, got {self.breaker_half_open_max}"
+            )
+
+
+@dataclass
 class WorkflowConfig:
     """End-to-end workflow configuration."""
 
     chat_model: str = "gpt-4o-sim"
     retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     #: Latency-burn override for the simulated model; None keeps the
     #: persona default, 0 disables the burn (unit tests).
     iterations_per_token: int | None = None
@@ -49,3 +107,4 @@ class WorkflowConfig:
 
     def validate(self) -> None:
         self.retrieval.validate()
+        self.resilience.validate()

@@ -25,6 +25,9 @@ class Webhook:
     name: str = "webhook"
     gateway: "Gateway | None" = None
     webhook_id: int = field(default_factory=next_snowflake)
+    #: Messages successfully posted over this webhook's lifetime; chaos
+    #: reports compare it against the poller's attempt counters.
+    deliveries: int = field(default=0, init=False)
     _user: User = field(init=False)
 
     def __post_init__(self) -> None:
@@ -39,6 +42,7 @@ class Webhook:
         if not content:
             raise DiscordSimError("webhook payload must be non-empty")
         msg = self.channel.send(Message(author=self._user, content=content))
+        self.deliveries += 1
         if self.gateway is not None:
             self.gateway.publish_message(self.channel, msg)
         return msg

@@ -4,17 +4,60 @@ Every error raised by the library derives from :class:`ReproError`, so
 callers embedding the assistant stack (e.g. a Discord bot process) can
 catch a single base class at the integration boundary while tests can
 assert on precise subclasses.
+
+Transient-vs-permanent taxonomy
+-------------------------------
+Each class carries a ``retry_safe`` flag consumed by
+:mod:`repro.resilience`: a *retry-safe* error models a transient hop
+failure (network blip, rate limit, injected chaos fault) that a fresh
+attempt may clear; everything else is *permanent* — deterministic
+misuse or corrupted input that will fail identically on every retry.
+Use :func:`is_retry_safe` rather than reading the attribute directly.
 """
 
 from __future__ import annotations
+
+from typing import ClassVar
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: Whether a retry loop may safely re-attempt the failed operation.
+    #: Permanent by default; only transient hop failures opt in.
+    retry_safe: ClassVar[bool] = False
+
+
+class TransientError(ReproError):
+    """A transient hop failure (timeout, rate limit, injected fault).
+
+    The one branch of the hierarchy that is retry-safe: the same call
+    may succeed on a fresh attempt, so :class:`repro.resilience.RetryPolicy`
+    re-attempts it under backoff.
+    """
+
+    retry_safe = True
+
+
+class DeadlineExceededError(ReproError):
+    """A retry/deadline budget ran out before the operation succeeded.
+
+    Permanent *for this invocation*: the budget is spent, so retrying
+    inside the same call is pointless.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open and rejected the call without trying it.
+
+    Not retry-safe within a retry loop — the breaker stays open until
+    its recovery timeout elapses, so immediate re-attempts only spin.
+    Callers should degrade instead and let a later request probe.
+    """
+
 
 class ConfigurationError(ReproError):
-    """A configuration object is inconsistent or out of range."""
+    """A configuration object is inconsistent or out of range. Permanent."""
 
 
 class CorpusError(ReproError):
@@ -34,15 +77,29 @@ class VectorStoreError(ReproError):
 
 
 class RetrievalError(ReproError):
-    """A retriever could not satisfy a query."""
+    """A retriever could not satisfy a query.
+
+    Permanent: raised for malformed queries/indexes, not flaky transport.
+    Transient retrieval-hop failures surface as :class:`TransientError`.
+    """
+
+    retry_safe = False
 
 
 class RerankError(ReproError):
-    """A reranker received invalid candidates or scoring failed."""
+    """A reranker received invalid candidates or scoring failed. Permanent."""
+
+    retry_safe = False
 
 
 class ModelError(ReproError):
-    """LLM-layer failure (unknown model, context overflow, bad message)."""
+    """LLM-layer failure (unknown model, context overflow, bad message).
+
+    Permanent: the same conversation will overflow/fail identically on a
+    retry.  Flaky LLM transport is modelled as :class:`TransientError`.
+    """
+
+    retry_safe = False
 
 
 class PromptError(ReproError):
@@ -62,11 +119,19 @@ class HistoryError(ReproError):
 
 
 class MailError(ReproError):
-    """Mailing-list / Gmail simulation failure."""
+    """Mailing-list / Gmail simulation failure. Permanent (API misuse)."""
+
+    retry_safe = False
 
 
 class DiscordSimError(ReproError):
-    """Discord simulation failure (unknown channel, permission, ...)."""
+    """Discord simulation failure (unknown channel, permission, ...).
+
+    Permanent: unknown channels and missing permissions do not heal on
+    retry.  A flaky webhook *transport* raises :class:`TransientError`.
+    """
+
+    retry_safe = False
 
 
 class BotError(ReproError):
@@ -75,3 +140,12 @@ class BotError(ReproError):
 
 class EvaluationError(ReproError):
     """Benchmark/grader failure (unknown question, invalid score)."""
+
+
+def is_retry_safe(exc: BaseException) -> bool:
+    """Whether a retry loop may safely re-attempt after ``exc``.
+
+    Only :class:`ReproError` subclasses that opted in via ``retry_safe``
+    qualify; foreign exceptions (bugs, KeyboardInterrupt, ...) never do.
+    """
+    return isinstance(exc, ReproError) and type(exc).retry_safe

@@ -8,6 +8,7 @@ measurements of Table II and the two case studies (Figs. 7–8).
 
 from repro.evaluation.rubric import RUBRIC, Score, rubric_label
 from repro.evaluation.benchmark import BenchmarkQuestion, krylov_benchmark
+from repro.evaluation.chaos import ChaosOutcome, ChaosRun, run_chaos_experiment
 from repro.evaluation.grader import BlindGrader, GradedAnswer
 from repro.evaluation.experiments import (
     ExperimentRun,
@@ -27,6 +28,9 @@ __all__ = [
     "rubric_label",
     "BenchmarkQuestion",
     "krylov_benchmark",
+    "ChaosOutcome",
+    "ChaosRun",
+    "run_chaos_experiment",
     "BlindGrader",
     "GradedAnswer",
     "ExperimentRun",

@@ -1,0 +1,154 @@
+"""Chaos experiments: the benchmark under seeded fault injection.
+
+A chaos run answers every benchmark question through a pipeline whose
+hops are wrapped by a :class:`~repro.resilience.FaultInjector`.  A
+question either *answers* (possibly degraded, possibly after retries) or
+*fails* — the failure is caught and recorded, never allowed to abort the
+run.  Because every injection decision is a pure function of the seed,
+two runs with the same seed produce byte-identical fault schedules and
+results, which the digests below make checkable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.config import WorkflowConfig
+from repro.corpus.builder import CorpusBundle
+from repro.errors import EvaluationError, ReproError
+from repro.evaluation.benchmark import BenchmarkQuestion, krylov_benchmark
+from repro.pipeline.rag import build_rag_pipeline
+from repro.resilience import FaultConfig, FaultInjector
+
+
+@dataclass
+class ChaosOutcome:
+    """What happened to one benchmark question under injected faults."""
+
+    qid: str
+    answered: bool
+    answer: str = ""
+    attempts: int = 1
+    degraded: list[str] = field(default_factory=list)
+    error: str = ""
+
+
+@dataclass
+class ChaosRun:
+    """All outcomes of one seeded chaos sweep over the benchmark."""
+
+    seed: int
+    mode: str
+    fault_config: FaultConfig
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+    schedule_digest: str = ""
+    fault_counts: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ metrics
+    @property
+    def answered_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.answered)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.outcomes:
+            raise EvaluationError("empty chaos run")
+        return self.answered_count / len(self.outcomes)
+
+    def degradation_mix(self) -> dict[str, int]:
+        """How often each degradation rung fired, plus retry/clean tallies."""
+        mix: dict[str, int] = {"clean": 0, "retried": 0, "failed": 0}
+        for o in self.outcomes:
+            if not o.answered:
+                mix["failed"] += 1
+                continue
+            if o.attempts > 1:
+                mix["retried"] += 1
+            if not o.degraded and o.attempts == 1:
+                mix["clean"] += 1
+            for event in o.degraded:
+                mix[event] = mix.get(event, 0) + 1
+        return mix
+
+    def results_digest(self) -> str:
+        """SHA-256 over the canonical outcomes — byte-identical across
+        runs with the same seed, config, and question set."""
+        payload = json.dumps(
+            [
+                [o.qid, o.answered, o.answer, o.attempts, o.degraded, o.error]
+                for o in self.outcomes
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # ------------------------------------------------------------ rendering
+    def render(self, *, title: str = "") -> str:
+        lines: list[str] = []
+        if title:
+            lines += [title, "-" * len(title)]
+        c = self.fault_config
+        lines.append(
+            f"seed {self.seed} | mode {self.mode} | rates: transient {c.transient_rate:.0%}, "
+            f"latency {c.latency_spike_rate:.0%}, truncate {c.truncation_rate:.0%}"
+        )
+        lines.append(
+            f"answered {self.answered_count}/{len(self.outcomes)} "
+            f"({self.success_rate:.1%})"
+        )
+        lines.append("degradation mix:")
+        for event, n in sorted(self.degradation_mix().items()):
+            lines.append(f"  {event:<28}{n:>4}")
+        injected = {k: v for k, v in self.fault_counts.items() if k != "ok"}
+        lines.append(f"injected faults: {injected}")
+        lines.append(f"schedule digest: {self.schedule_digest}")
+        lines.append(f"results digest:  {self.results_digest()}")
+        return "\n".join(lines)
+
+
+def run_chaos_experiment(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None = None,
+    *,
+    seed: int,
+    fault_config: FaultConfig,
+    mode: str = "rag+rerank",
+    questions: list[BenchmarkQuestion] | None = None,
+) -> ChaosRun:
+    """Answer every benchmark question under injected faults.
+
+    Per-question pipeline failures (retry exhaustion, open breaker) are
+    caught and recorded as unanswered outcomes; the sweep always
+    completes.
+    """
+    config = config or WorkflowConfig(iterations_per_token=0)
+    questions = questions if questions is not None else krylov_benchmark()
+    injector = FaultInjector(seed, fault_config)
+    pipeline = build_rag_pipeline(bundle, config, mode=mode, fault_injector=injector)
+    run = ChaosRun(seed=seed, mode=mode, fault_config=fault_config)
+    for q in questions:
+        try:
+            result = pipeline.answer(q.text)
+        except ReproError as exc:
+            run.outcomes.append(
+                ChaosOutcome(
+                    qid=q.qid,
+                    answered=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            run.outcomes.append(
+                ChaosOutcome(
+                    qid=q.qid,
+                    answered=True,
+                    answer=result.answer,
+                    attempts=result.attempts,
+                    degraded=list(result.degraded),
+                )
+            )
+    run.schedule_digest = injector.schedule_digest()
+    run.fault_counts = injector.fault_counts()
+    return run

@@ -44,6 +44,12 @@ class Interaction:
     context_sources: list[str] = field(default_factory=list)
     rag_seconds: float = 0.0
     llm_seconds: float = 0.0
+    #: LLM tries the answer consumed (1 = first try; >1 = retried).
+    attempts: int = 1
+    #: Degradation-ladder events active when the answer was produced
+    #: (e.g. ``"rerank:truncate"``); lets blind scoring correlate answer
+    #: quality with degradation.
+    degraded: list[str] = field(default_factory=list)
     answered_by_human: bool = False
     scores: list[ScoreRecord] = field(default_factory=list)
     tags: list[str] = field(default_factory=list)

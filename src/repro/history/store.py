@@ -60,6 +60,8 @@ class InteractionStore:
             ],
             rag_seconds=result.rag_seconds,
             llm_seconds=result.llm_seconds,
+            attempts=result.attempts,
+            degraded=list(result.degraded),
             tags=tags or [],
         )
         return self.add(interaction)
@@ -104,8 +106,13 @@ class InteractionStore:
         mode: str | None = None,
         min_mean_score: float | None = None,
         human_only: bool = False,
+        degraded_only: bool = False,
     ) -> list[Interaction]:
-        """Filter interactions; ``text`` matches question or answer tokens."""
+        """Filter interactions; ``text`` matches question or answer tokens.
+
+        ``degraded_only`` keeps answers produced under degradation or
+        retries — the slice blind scoring compares against clean runs.
+        """
         needle = set(tokenize(text)) if text else set()
         out: list[Interaction] = []
         for rec in self.all():
@@ -114,6 +121,8 @@ class InteractionStore:
             if mode is not None and rec.mode != mode:
                 continue
             if human_only and not rec.answered_by_human:
+                continue
+            if degraded_only and not (rec.degraded or rec.attempts > 1):
                 continue
             if min_mean_score is not None:
                 mean = rec.mean_score()
@@ -171,6 +180,8 @@ class InteractionStore:
                     "context_sources": rec.context_sources,
                     "rag_seconds": rec.rag_seconds,
                     "llm_seconds": rec.llm_seconds,
+                    "attempts": rec.attempts,
+                    "degraded": rec.degraded,
                     "answered_by_human": rec.answered_by_human,
                     "tags": rec.tags,
                     "scores": [

@@ -9,7 +9,8 @@ petsc-users-notification."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.mail.gmail import GmailAccount
@@ -24,21 +25,55 @@ class AppsScriptPoller:
     The poller does **not** read the mail itself (matching the paper's
     split of responsibilities): it only posts a notification; the email
     bot on the Discord side fetches and marks read.
+
+    A scheduled execution must never die to a flaky webhook: failures
+    are caught and counted, the payload goes to a dead-letter queue,
+    and — since the mail stays unread until the email bot fetches it —
+    the next tick redelivers.  Dead letters drain first on each tick so
+    a notification lost to a transient outage arrives as soon as the
+    webhook recovers.
     """
 
     account: GmailAccount
     webhook_post: WebhookPost
     notification_text: str = "New petsc-users email available"
+    #: Dead letters kept for redelivery; beyond this the oldest drops
+    #: (safe: every notification carries the same "go fetch" meaning).
+    max_dead_letters: int = 32
     runs: int = 0
     notifications_sent: int = 0
+    failures: int = 0
+    dead_letters: deque[str] = field(default_factory=deque)
+
+    def _post(self, payload: str) -> bool:
+        """One delivery attempt; a failure dead-letters the payload."""
+        try:
+            self.webhook_post(payload)
+        except Exception:
+            self.failures += 1
+            self.dead_letters.append(payload)
+            while len(self.dead_letters) > self.max_dead_letters:
+                self.dead_letters.popleft()
+            return False
+        self.notifications_sent += 1
+        return True
 
     def tick(self) -> bool:
-        """One scheduled execution; returns whether a notification fired."""
+        """One scheduled execution; returns whether a notification fired.
+
+        Never raises: a webhook exception is counted in ``failures`` and
+        the payload requeued, so the scheduler's next run retries.
+        """
         self.runs += 1
+        fired = False
+        # Redeliver dead letters before looking at new mail.
+        for _ in range(len(self.dead_letters)):
+            payload = self.dead_letters.popleft()
+            if not self._post(payload):
+                break  # _post re-queued it; don't spin on a dead hop
+            fired = True
         if self.account.has_unread():
-            self.webhook_post(
+            fired = self._post(
                 f"{self.notification_text} ({self.account.unread_count()} unread)"
-            )
-            self.notifications_sent += 1
-            return True
-        return False
+            ) or fired
+        return fired

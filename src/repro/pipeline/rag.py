@@ -8,12 +8,15 @@ from dataclasses import dataclass, field
 from repro.config import RetrievalConfig, WorkflowConfig
 from repro.corpus.builder import CorpusBundle, chunk_corpus
 from repro.embeddings import create_embedding_model
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.llm import ChatMessage, ChatModel, CompletionResult, create_chat_model
 from repro.prompts import BASELINE_PROMPT, RAG_PROMPT, RAG_SYSTEM_PROMPT, format_context
 from repro.rerank import FlashrankLiteReranker, NvidiaSimReranker, Reranker
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultInjector
+from repro.resilience.policy import Deadline, RetryPolicy
 from repro.retrieval import ManualPageKeywordSearch, RetrievedDocument, VectorRetriever
-from repro.retrieval.base import dedupe_by_id
+from repro.retrieval.base import Retriever, dedupe_by_id
 from repro.vectorstore import VectorStore
 
 
@@ -31,10 +34,19 @@ class PipelineResult:
     rag_seconds: float = 0.0
     llm_seconds: float = 0.0
     completion: CompletionResult | None = None
+    #: LLM tries this answer consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: Degradation-ladder events, e.g. ``"rerank:truncate"``,
+    #: ``"retrieval:baseline-fallback"``.
+    degraded: list[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
         return self.rag_seconds + self.llm_seconds
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded)
 
 
 class RAGPipeline:
@@ -49,11 +61,14 @@ class RAGPipeline:
         self,
         chat_model: ChatModel,
         *,
-        retriever: VectorRetriever | None = None,
+        retriever: Retriever | None = None,
         keyword_search: ManualPageKeywordSearch | None = None,
         reranker: Reranker | None = None,
         first_pass_k: int = 8,
         final_l: int = 4,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline_seconds: float | None = None,
     ) -> None:
         if retriever is None and (keyword_search is not None or reranker is not None):
             raise ConfigurationError("keyword search / reranking require a retriever")
@@ -67,6 +82,9 @@ class RAGPipeline:
         self.reranker = reranker
         self.first_pass_k = first_pass_k
         self.final_l = final_l
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.deadline_seconds = deadline_seconds
 
     @property
     def mode(self) -> str:
@@ -99,16 +117,56 @@ class RAGPipeline:
             for r in results
         ]
 
+    # ------------------------------------------------------------------ resilience
+    def _complete_resilient(
+        self, messages: list[ChatMessage], *, key: str, deadline: Deadline | None
+    ) -> tuple[CompletionResult, int]:
+        """The LLM call under breaker + retry policy; returns (result, attempts)."""
+        if self.breaker is None:
+            call = lambda: self.chat_model.complete(messages)  # noqa: E731
+        else:
+            call = lambda: self.breaker.call(lambda: self.chat_model.complete(messages))  # noqa: E731
+        if self.retry_policy is None:
+            return call(), 1
+        outcome = self.retry_policy.execute(
+            call, key=("llm", self.chat_model.name, key), deadline=deadline
+        )
+        assert isinstance(outcome.value, CompletionResult)
+        return outcome.value, outcome.attempts
+
     # ------------------------------------------------------------------ entry
     def answer(self, question: str) -> PipelineResult:
+        """Run the full pipeline with the degradation ladder.
+
+        Ladder (each rung trades quality for availability):
+        reranker failure -> truncate candidates to L; retrieval failure ->
+        fall back to the baseline (no-context) prompt; transient LLM
+        failure -> retry under the policy.  Only when every rung is
+        exhausted does the error propagate.
+        """
+        degraded: list[str] = []
         candidates: list[RetrievedDocument] = []
         contexts: list[RetrievedDocument] = []
         rag_seconds = 0.0
+        deadline = (
+            Deadline(self.deadline_seconds) if self.deadline_seconds is not None else None
+        )
+        located = False
         if self.retriever is not None:
             t0 = time.perf_counter()
-            candidates = self._locate(question)
-            contexts = self._refine(question, candidates)
+            try:
+                candidates = self._locate(question)
+                located = True
+            except ReproError:
+                degraded.append("retrieval:baseline-fallback")
+            if located:
+                try:
+                    contexts = self._refine(question, candidates)
+                except ReproError:
+                    degraded.append("rerank:truncate")
+                    contexts = candidates[: self.final_l]
             rag_seconds = time.perf_counter() - t0
+        if located:
             prompt = RAG_PROMPT.format(context=format_context(contexts), question=question)
         else:
             prompt = BASELINE_PROMPT.format(question=question)
@@ -118,8 +176,12 @@ class RAGPipeline:
             ChatMessage(role="user", content=prompt),
         ]
         t0 = time.perf_counter()
-        completion = self.chat_model.complete(messages)
+        completion, attempts = self._complete_resilient(
+            messages, key=question, deadline=deadline
+        )
         llm_seconds = time.perf_counter() - t0
+        if completion.finish_reason == "length":
+            degraded.append("llm:truncated")
 
         return PipelineResult(
             question=question,
@@ -132,6 +194,8 @@ class RAGPipeline:
             rag_seconds=rag_seconds,
             llm_seconds=llm_seconds,
             completion=completion,
+            attempts=attempts,
+            degraded=degraded,
         )
 
 
@@ -140,24 +204,37 @@ def build_rag_pipeline(
     config: WorkflowConfig | None = None,
     *,
     mode: str = "rag+rerank",
+    fault_injector: FaultInjector | None = None,
 ) -> RAGPipeline:
     """Construct a pipeline over the corpus in one of the three modes.
 
     ``mode``: ``"baseline"``, ``"rag"``, or ``"rag+rerank"``.
+    ``fault_injector`` chaos-wraps the chat model, retriever, and
+    reranker hops for reproducible failure testing.
     """
     config = config or WorkflowConfig()
     config.validate()
     rc: RetrievalConfig = config.retrieval
+    resil = config.resilience
+    policy = RetryPolicy.from_config(resil) if resil.enabled else None
+    breaker = CircuitBreaker.from_config(resil, name="llm") if resil.enabled else None
 
     keyword = ManualPageKeywordSearch(bundle)
-    chat = create_chat_model(
+    chat: ChatModel = create_chat_model(
         config.chat_model,
         registry=bundle.registry,
         known_identifiers=keyword.known_identifiers(),
         iterations_per_token=config.iterations_per_token,
     )
+    if fault_injector is not None:
+        chat = fault_injector.wrap_model(chat)
     if mode == "baseline":
-        return RAGPipeline(chat)
+        return RAGPipeline(
+            chat,
+            retry_policy=policy,
+            breaker=breaker,
+            deadline_seconds=resil.deadline_seconds,
+        )
 
     chunks = chunk_corpus(
         bundle,
@@ -169,7 +246,9 @@ def build_rag_pipeline(
         rc.embedding_model, corpus_texts=[c.text for c in chunks]
     )
     store = VectorStore.from_documents(chunks, embedding)
-    retriever = VectorRetriever(store)
+    retriever: Retriever = VectorRetriever(store)
+    if fault_injector is not None:
+        retriever = fault_injector.wrap_retriever(retriever)
     kw = keyword if rc.use_keyword_search else None
 
     if mode == "rag":
@@ -179,6 +258,9 @@ def build_rag_pipeline(
             keyword_search=kw,
             first_pass_k=rc.first_pass_k,
             final_l=rc.final_l,
+            retry_policy=policy,
+            breaker=breaker,
+            deadline_seconds=resil.deadline_seconds,
         )
     if mode == "rag+rerank":
         reranker: Reranker
@@ -186,6 +268,8 @@ def build_rag_pipeline(
             reranker = FlashrankLiteReranker(chunks)
         else:
             reranker = NvidiaSimReranker(chunks)
+        if fault_injector is not None:
+            reranker = fault_injector.wrap_reranker(reranker)
         return RAGPipeline(
             chat,
             retriever=retriever,
@@ -193,5 +277,8 @@ def build_rag_pipeline(
             reranker=reranker,
             first_pass_k=rc.first_pass_k,
             final_l=rc.final_l,
+            retry_policy=policy,
+            breaker=breaker,
+            deadline_seconds=resil.deadline_seconds,
         )
     raise ConfigurationError(f"unknown pipeline mode {mode!r}")

@@ -1,0 +1,37 @@
+"""Resilience layer: retries, circuit breaking, and seeded fault injection.
+
+The support stack is a chain of unreliable hops (poller → webhook →
+email bot → RAG pipeline → LLM).  This package keeps the chain
+answering when a hop misbehaves:
+
+* :class:`RetryPolicy` / :class:`Deadline` — exponential backoff with
+  deterministic jitter under a wall-clock budget;
+* :class:`CircuitBreaker` — stop hammering a hop that is failing hard;
+* :class:`FaultInjector` — a seeded chaos source that wraps any hop
+  with reproducible transient errors, latency spikes, and truncation.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultyChatModel,
+    FaultyReranker,
+    FaultyRetriever,
+)
+from repro.resilience.policy import Deadline, RetryOutcome, RetryPolicy
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultyChatModel",
+    "FaultyReranker",
+    "FaultyRetriever",
+    "RetryOutcome",
+    "RetryPolicy",
+]
