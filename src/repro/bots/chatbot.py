@@ -27,6 +27,7 @@ from repro.discordsim.models import Button, ButtonStyle, Message, User
 from repro.discordsim.server import Permission, Server
 from repro.errors import BotError
 from repro.history import InteractionStore
+from repro.observability.metrics import get_registry
 from repro.mail.mailinglist import MailingList
 from repro.mail.message import EmailMessage
 from repro.pipeline.rag import PipelineResult, RAGPipeline
@@ -119,6 +120,7 @@ class PetscChatbot(App):
         )
         self.drafts[message.message_id] = state
         self.store.record_pipeline_result(result, tags=[f"post:{post.post_id}"])
+        get_registry().counter("repro.bots.drafts").inc()
         return state
 
     def _state_of(self, message: Message) -> DraftState:
@@ -141,6 +143,7 @@ class PetscChatbot(App):
         self.mailing_list.post(email)
         self.sent_emails.append(email)
         state.decided = "sent"
+        get_registry().counter("repro.bots.sent").inc()
         message.tags["sent-by"] = user.name
         message.tags["sent-at"] = f"{time.time():.0f}"
         message.disable_buttons()
@@ -149,6 +152,7 @@ class PetscChatbot(App):
         self._require_developer(user)
         state = self._state_of(message)
         state.decided = "discarded"
+        get_registry().counter("repro.bots.discarded").inc()
         message.deleted = True
         message.disable_buttons()
 
@@ -172,6 +176,7 @@ class PetscChatbot(App):
         # Re-run through the pipeline with the guidance folded in; the
         # retrieval sees the combined text, matching llmcord's behavior of
         # extending the conversation.
+        get_registry().counter("repro.bots.revisions").inc()
         result = self.pipeline.answer(f"{state.question}\n\n{guidance}")
         result.prompt = prompt
         return self._add_draft(state.post, state.question, result, revision_of=message.message_id)
@@ -180,6 +185,7 @@ class PetscChatbot(App):
     def direct_message(self, user: User, text: str) -> str:
         """Private chat: unvetted answers, with a standing caveat."""
         conv = self._dms.setdefault(user.user_id, DirectConversation(user=user))
+        get_registry().counter("repro.bots.dms").inc()
         conv.turns.append(("user", text))
         result = self.pipeline.answer(text)
         self.store.record_pipeline_result(result, tags=[f"dm:{user.name}", "unvetted"])

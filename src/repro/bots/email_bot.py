@@ -18,6 +18,7 @@ from repro.discordsim.models import Message
 from repro.discordsim.server import Server
 from repro.mail.gmail import GmailAccount
 from repro.mail.message import EmailMessage
+from repro.observability.metrics import get_registry
 
 
 class EmailBot(App):
@@ -50,6 +51,8 @@ class EmailBot(App):
         for email in fetched:
             self._mirror(email)
         self.emails_mirrored += len(fetched)
+        if fetched:
+            get_registry().counter("repro.bots.emails_mirrored").inc(len(fetched))
         return len(fetched)
 
     def _mirror(self, email: EmailMessage) -> ForumPost:

@@ -22,11 +22,18 @@ facilitate various use cases."  This module is that CLI:
 ``python -m repro chaos --seed N --transient-rate R``
     Run the benchmark under seeded fault injection and report the
     answer success rate, degradation mix, and reproducibility digests.
+
+``python -m repro metrics [--json]``
+    Drive a small benchmark workload against a fresh metrics registry
+    and print the resulting instruments plus deterministic digests
+    (same seed → byte-identical output).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 from typing import Sequence
 
@@ -43,9 +50,11 @@ from repro.evaluation import (
     run_experiment,
 )
 from repro.evaluation.casestudies import CASE_STUDY_1_QID, CASE_STUDY_2_QID, run_case_study
+from repro.evaluation.benchmark import krylov_benchmark
 from repro.llm import CHAT_MODEL_NAMES
+from repro.observability import MetricsRegistry, use_registry
 from repro.pipeline import build_rag_pipeline
-from repro.resilience import FaultConfig
+from repro.resilience import FaultConfig, FaultInjector
 from repro.retrieval import ManualPageKeywordSearch
 
 _MODES = ("baseline", "rag", "rag+rerank")
@@ -74,6 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
     ask = sub.add_parser("ask", help="answer one question")
     ask.add_argument("question", help="the question text")
     ask.add_argument("--show-contexts", action="store_true")
+    ask.add_argument(
+        "--trace", action="store_true",
+        help="render the span tree of the invocation to stderr",
+    )
 
     sub.add_parser("evaluate", help="run the benchmark for --mode")
     sub.add_parser("compare", help="run all three modes and print Fig. 6 panels")
@@ -97,6 +110,20 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--truncate-rate", type=float, default=0.0,
         help="per-call probability of a truncated LLM reply",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run a workload and print the metrics registry"
+    )
+    metrics.add_argument("--json", action="store_true", help="machine-readable output")
+    metrics.add_argument(
+        "--questions", type=int, default=8,
+        help="benchmark questions to drive through the pipeline",
+    )
+    metrics.add_argument("--seed", type=int, default=0, help="fault-schedule seed")
+    metrics.add_argument(
+        "--transient-rate", type=float, default=0.0,
+        help="per-call probability of an injected transient error",
     )
 
     return parser
@@ -134,6 +161,9 @@ def cmd_ask(args: argparse.Namespace) -> int:
         f"llm {1000 * result.llm_seconds:.1f} ms{resilience_note}]",
         file=sys.stderr,
     )
+    if args.trace and result.trace is not None:
+        print("\n-- trace --", file=sys.stderr)
+        print(result.trace.render(), file=sys.stderr)
     return 0
 
 
@@ -197,6 +227,56 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    bundle = build_default_corpus()
+    injector = (
+        FaultInjector(args.seed, FaultConfig(transient_rate=args.transient_rate))
+        if args.transient_rate > 0
+        else None
+    )
+    registry = MetricsRegistry()
+    traces = []
+    with use_registry(registry):
+        pipeline = build_rag_pipeline(
+            bundle, _config(args), mode=args.mode, fault_injector=injector
+        )
+        for q in krylov_benchmark()[: args.questions]:
+            try:
+                result = pipeline.answer(q.text)
+            except ReproError:
+                continue
+            if result.trace is not None:
+                traces.append(result.trace)
+    span_counts: dict[str, int] = {}
+    for trace in traces:
+        for name, n in trace.span_counts().items():
+            span_counts[name] = span_counts.get(name, 0) + n
+    span_digest = hashlib.sha256(
+        json.dumps([t.structure_digest() for t in traces]).encode()
+    ).hexdigest()
+    if args.json:
+        payload = {
+            "workload": {
+                "mode": args.mode,
+                "model": args.model,
+                "questions": args.questions,
+                "seed": args.seed,
+                "transient_rate": args.transient_rate,
+            },
+            "digest": registry.digest(),
+            "span_digest": span_digest,
+            "spans": dict(sorted(span_counts.items())),
+            "metrics": registry.deterministic_view(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(registry.render_text())
+        print(f"\nspans: {dict(sorted(span_counts.items()))}")
+        print(f"metrics digest: {registry.digest()}")
+        print(f"span digest:    {span_digest}")
+    return 0
+
+
 _COMMANDS = {
     "ask": cmd_ask,
     "evaluate": cmd_evaluate,
@@ -204,6 +284,7 @@ _COMMANDS = {
     "corpus": cmd_corpus,
     "casestudy": cmd_casestudy,
     "chaos": cmd_chaos,
+    "metrics": cmd_metrics,
 }
 
 

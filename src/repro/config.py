@@ -94,12 +94,32 @@ class ResilienceConfig:
 
 
 @dataclass
+class ObservabilityConfig:
+    """Tracing/metrics knobs for the observability layer.
+
+    Tracing itself is always on (a span tree per invocation is cheap and
+    the timing surface depends on it); these flags control where the
+    data goes.
+    """
+
+    #: Report into the process-wide metrics registry.  When off, the
+    #: pipeline writes to a private throwaway registry instead.
+    metrics_enabled: bool = True
+    #: Persist the serialized span tree into interaction-history records.
+    record_traces: bool = True
+
+    def validate(self) -> None:  # all combinations are valid
+        return None
+
+
+@dataclass
 class WorkflowConfig:
     """End-to-end workflow configuration."""
 
     chat_model: str = "gpt-4o-sim"
     retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     #: Latency-burn override for the simulated model; None keeps the
     #: persona default, 0 disables the burn (unit tests).
     iterations_per_token: int | None = None
@@ -108,3 +128,4 @@ class WorkflowConfig:
     def validate(self) -> None:
         self.retrieval.validate()
         self.resilience.validate()
+        self.observability.validate()

@@ -15,6 +15,7 @@ from repro.discordsim.channels import TextChannel
 from repro.discordsim.gateway import Gateway
 from repro.discordsim.models import Message, User, next_snowflake
 from repro.errors import DiscordSimError
+from repro.observability.metrics import get_registry
 
 
 @dataclass
@@ -43,6 +44,7 @@ class Webhook:
             raise DiscordSimError("webhook payload must be non-empty")
         msg = self.channel.send(Message(author=self._user, content=content))
         self.deliveries += 1
+        get_registry().counter("repro.discord.webhook_posts").inc()
         if self.gateway is not None:
             self.gateway.publish_message(self.channel, msg)
         return msg

@@ -142,6 +142,10 @@ class EvaluationError(ReproError):
     """Benchmark/grader failure (unknown question, invalid score)."""
 
 
+class ObservabilityError(ReproError):
+    """Tracing/metrics misuse (bad metric name, span outside a trace)."""
+
+
 def is_retry_safe(exc: BaseException) -> bool:
     """Whether a retry loop may safely re-attempt after ``exc``.
 

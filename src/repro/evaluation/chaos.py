@@ -146,7 +146,7 @@ def run_chaos_experiment(
                     answered=True,
                     answer=result.answer,
                     attempts=result.attempts,
-                    degraded=list(result.degraded),
+                    degraded=[str(e) for e in result.degraded],
                 )
             )
     run.schedule_digest = injector.schedule_digest()

@@ -50,6 +50,10 @@ class Interaction:
     #: (e.g. ``"rerank:truncate"``); lets blind scoring correlate answer
     #: quality with degradation.
     degraded: list[str] = field(default_factory=list)
+    #: Serialized span tree (``Trace.to_dict``) for the producing pipeline
+    #: invocation, or ``None`` when tracing was off or the record predates
+    #: the observability layer.
+    trace: dict | None = None
     answered_by_human: bool = False
     scores: list[ScoreRecord] = field(default_factory=list)
     tags: list[str] = field(default_factory=list)

@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.documents import Document
 from repro.errors import HistoryError
 from repro.history.records import Interaction, ScoreRecord
+from repro.observability.metrics import get_registry
 from repro.pipeline.rag import PipelineResult
 from repro.utils.textproc import tokenize
 
@@ -44,6 +45,7 @@ class InteractionStore:
         embedding_model: str = "",
         timestamp: float | None = None,
         tags: list[str] | None = None,
+        include_trace: bool = True,
     ) -> Interaction:
         """Store one pipeline invocation."""
         interaction = Interaction(
@@ -53,7 +55,7 @@ class InteractionStore:
             timestamp=time.time() if timestamp is None else timestamp,
             chat_model=result.model,
             embedding_model=embedding_model,
-            mode=result.mode,
+            mode=str(result.mode),
             prompt=result.prompt,
             context_sources=[
                 str(c.document.metadata.get("source", "")) for c in result.contexts
@@ -61,9 +63,11 @@ class InteractionStore:
             rag_seconds=result.rag_seconds,
             llm_seconds=result.llm_seconds,
             attempts=result.attempts,
-            degraded=list(result.degraded),
+            degraded=[str(e) for e in result.degraded],
+            trace=result.trace.to_dict() if include_trace and result.trace else None,
             tags=tags or [],
         )
+        get_registry().counter("repro.history.recorded").inc()
         return self.add(interaction)
 
     def record_human_answer(
@@ -182,6 +186,7 @@ class InteractionStore:
                     "llm_seconds": rec.llm_seconds,
                     "attempts": rec.attempts,
                     "degraded": rec.degraded,
+                    "trace": rec.trace,
                     "answered_by_human": rec.answered_by_human,
                     "tags": rec.tags,
                     "scores": [

@@ -89,8 +89,12 @@ class RelevanceModel:
         shared = q_stems & stmt
         if not shared or not q_stems:
             return 0.0
-        num = sum(self._token_idf.get(t, self._max_token_idf) for t in shared)
-        den = sum(self._token_idf.get(t, self._max_token_idf) for t in q_stems)
+        # Sum in sorted order: float addition is non-associative, and set
+        # iteration order varies with the process hash seed — summing in
+        # hash order made near-tied scores (and thus answers) flip
+        # between runs.
+        num = sum(self._token_idf.get(t, self._max_token_idf) for t in sorted(shared))
+        den = sum(self._token_idf.get(t, self._max_token_idf) for t in sorted(q_stems))
         return num / den if den > 0 else 0.0
 
     def score(self, fact: Fact, question: str) -> float:

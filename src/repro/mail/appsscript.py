@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.mail.gmail import GmailAccount
+from repro.observability.metrics import get_registry
 
 WebhookPost = Callable[[str], None]
 
@@ -47,15 +48,20 @@ class AppsScriptPoller:
 
     def _post(self, payload: str) -> bool:
         """One delivery attempt; a failure dead-letters the payload."""
+        registry = get_registry()
         try:
             self.webhook_post(payload)
         except Exception:
             self.failures += 1
+            registry.counter("repro.mail.webhook_failures").inc()
             self.dead_letters.append(payload)
             while len(self.dead_letters) > self.max_dead_letters:
                 self.dead_letters.popleft()
+            registry.gauge("repro.mail.dead_letters").set(len(self.dead_letters))
             return False
         self.notifications_sent += 1
+        registry.counter("repro.mail.notifications").inc()
+        registry.gauge("repro.mail.dead_letters").set(len(self.dead_letters))
         return True
 
     def tick(self) -> bool:
@@ -65,12 +71,15 @@ class AppsScriptPoller:
         the payload requeued, so the scheduler's next run retries.
         """
         self.runs += 1
+        registry = get_registry()
+        registry.counter("repro.mail.polls").inc()
         fired = False
         # Redeliver dead letters before looking at new mail.
         for _ in range(len(self.dead_letters)):
             payload = self.dead_letters.popleft()
             if not self._post(payload):
                 break  # _post re-queued it; don't spin on a dead hop
+            registry.counter("repro.mail.redeliveries").inc()
             fired = True
         if self.account.has_unread():
             fired = self._post(

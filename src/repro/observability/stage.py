@@ -1,0 +1,57 @@
+"""The unified stage API: one instrumentation surface for every hop.
+
+Every hop of the stack — pipeline stages, individual retrievers, the
+reranker, LLM attempts, poller ticks, webhook posts — goes through
+:func:`stage`, which in one shot:
+
+* opens a span named ``name`` on the tracer (when one is active),
+* counts the call on ``<metric>.requests``,
+* counts a raised exception on ``<metric>.failures``, and
+* records the wall-clock duration into ``<metric>.duration_ms``.
+
+Instrumenting a new hop is therefore one ``with stage(...)`` line, which
+is what makes wiring twelve hops tractable: the span tree, the metric
+names, and the failure accounting all come from the same place.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.observability.trace import Span, Tracer
+
+
+@contextmanager
+def stage(
+    name: str,
+    *,
+    metric: str,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    **attributes: object,
+) -> Iterator[Span | None]:
+    """Instrument one hop; yields the open span (None without a tracer).
+
+    ``metric`` is the instrument prefix, e.g. ``repro.pipeline.locate``
+    registers ``.requests`` / ``.failures`` counters and a
+    ``.duration_ms`` histogram under it.
+    """
+    reg = registry if registry is not None else get_registry()
+    reg.counter(f"{metric}.requests").inc()
+    start = time.perf_counter()
+    try:
+        if tracer is not None and tracer.active:
+            with tracer.span(name, **attributes) as span:
+                yield span
+        else:
+            yield None
+    except BaseException:
+        reg.counter(f"{metric}.failures").inc()
+        raise
+    finally:
+        reg.histogram(f"{metric}.duration_ms").observe(
+            1000.0 * (time.perf_counter() - start)
+        )

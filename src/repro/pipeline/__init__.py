@@ -11,11 +11,14 @@ shared interaction history.
 """
 
 from repro.pipeline.rag import PipelineResult, RAGPipeline, build_rag_pipeline
+from repro.pipeline.types import DegradationEvent, PipelineMode
 from repro.pipeline.workflow import AugmentedWorkflow, build_workflow
 
 __all__ = [
     "RAGPipeline",
     "PipelineResult",
+    "PipelineMode",
+    "DegradationEvent",
     "build_rag_pipeline",
     "AugmentedWorkflow",
     "build_workflow",

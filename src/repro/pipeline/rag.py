@@ -1,15 +1,27 @@
-"""RAG pipelines: baseline, plain RAG, and reranking-enhanced RAG."""
+"""RAG pipelines: baseline, plain RAG, and reranking-enhanced RAG.
+
+Every invocation is traced: ``answer`` produces a span tree
+(``pipeline`` → ``locate`` with one child per retriever, ``refine``,
+``llm`` with per-attempt children) carried on ``PipelineResult.trace``.
+Timings are derived from that tree, degradation rungs and retries are
+span events, and every hop reports into the process metrics registry
+through the shared :func:`repro.observability.stage` API.
+"""
 
 from __future__ import annotations
 
-import time
+import itertools
+import warnings
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.config import RetrievalConfig, WorkflowConfig
 from repro.corpus.builder import CorpusBundle, chunk_corpus
 from repro.embeddings import create_embedding_model
 from repro.errors import ConfigurationError, ReproError
 from repro.llm import ChatMessage, ChatModel, CompletionResult, create_chat_model
+from repro.observability import MetricsRegistry, Trace, Tracer, get_registry, stage
+from repro.pipeline.types import DegradationEvent, PipelineMode
 from repro.prompts import BASELINE_PROMPT, RAG_PROMPT, RAG_SYSTEM_PROMPT, format_context
 from repro.rerank import FlashrankLiteReranker, NvidiaSimReranker, Reranker
 from repro.resilience.breaker import CircuitBreaker
@@ -19,6 +31,10 @@ from repro.retrieval import ManualPageKeywordSearch, RetrievedDocument, VectorRe
 from repro.retrieval.base import Retriever, dedupe_by_id
 from repro.vectorstore import VectorStore
 
+#: Deterministic bucket layouts for count-valued histograms.
+_ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+_CONTEXT_BUCKETS = (0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0)
+
 
 @dataclass
 class PipelineResult:
@@ -26,22 +42,36 @@ class PipelineResult:
 
     question: str
     answer: str
-    mode: str
+    mode: PipelineMode
     model: str
     contexts: list[RetrievedDocument] = field(default_factory=list)
     candidates: list[RetrievedDocument] = field(default_factory=list)
     prompt: str = ""
-    rag_seconds: float = 0.0
-    llm_seconds: float = 0.0
     completion: CompletionResult | None = None
     #: LLM tries this answer consumed (1 = first try succeeded).
     attempts: int = 1
-    #: Degradation-ladder events, e.g. ``"rerank:truncate"``,
-    #: ``"retrieval:baseline-fallback"``.
-    degraded: list[str] = field(default_factory=list)
+    #: Degradation-ladder rungs taken (serialize to their wire strings).
+    degraded: list[DegradationEvent] = field(default_factory=list)
+    #: The span tree of this invocation; timings below derive from it.
+    trace: Trace | None = None
+
+    # The public timing names are kept as the compatibility surface; all
+    # three are *derived* from the span tree rather than stored.
+    @property
+    def rag_seconds(self) -> float:
+        """Derived: total duration of the locate + refine spans."""
+        if self.trace is None:
+            return 0.0
+        return self.trace.stage_seconds("locate") + self.trace.stage_seconds("refine")
+
+    @property
+    def llm_seconds(self) -> float:
+        """Derived: total duration of the llm span."""
+        return 0.0 if self.trace is None else self.trace.stage_seconds("llm")
 
     @property
     def total_seconds(self) -> float:
+        """Derived: the two stage timings summed."""
         return self.rag_seconds + self.llm_seconds
 
     @property
@@ -50,11 +80,17 @@ class PipelineResult:
 
 
 class RAGPipeline:
-    """Boxes 1–3 of the paper's workflow with per-stage timing.
+    """Boxes 1–3 of the paper's workflow, traced per stage.
 
     ``mode`` is derived from the configuration: ``baseline`` (no
     retrieval), ``rag`` (first-pass retrieval only, truncated to L), or
     ``rag+rerank`` (K candidates reranked down to L).
+
+    ``priority_retrievers`` compose generically into box 1: each is
+    queried with ``k=priority_k`` and its hits are prepended to the main
+    retriever's (an exact manual-page match is the highest-confidence
+    material available).  The old ``keyword_search=`` parameter is a
+    deprecated shim onto the same list.
     """
 
     def __init__(
@@ -62,46 +98,88 @@ class RAGPipeline:
         chat_model: ChatModel,
         *,
         retriever: Retriever | None = None,
+        priority_retrievers: Sequence[Retriever] | None = None,
         keyword_search: ManualPageKeywordSearch | None = None,
         reranker: Reranker | None = None,
         first_pass_k: int = 8,
         final_l: int = 4,
+        priority_k: int = 2,
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         deadline_seconds: float | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
-        if retriever is None and (keyword_search is not None or reranker is not None):
-            raise ConfigurationError("keyword search / reranking require a retriever")
+        priority = list(priority_retrievers) if priority_retrievers is not None else []
+        if keyword_search is not None:
+            warnings.warn(
+                "RAGPipeline(keyword_search=...) is deprecated; pass "
+                "priority_retrievers=[keyword_search] instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            priority.append(keyword_search)
+        if retriever is None and (priority or reranker is not None):
+            raise ConfigurationError("priority retrievers / reranking require a retriever")
         if not 0 < final_l <= first_pass_k:
             raise ConfigurationError(
                 f"final_l must be in (0, first_pass_k], got L={final_l}, K={first_pass_k}"
             )
+        if priority_k <= 0:
+            raise ConfigurationError(f"priority_k must be positive, got {priority_k}")
         self.chat_model = chat_model
         self.retriever = retriever
-        self.keyword_search = keyword_search
+        self.priority_retrievers = priority
         self.reranker = reranker
         self.first_pass_k = first_pass_k
         self.final_l = final_l
+        self.priority_k = priority_k
         self.retry_policy = retry_policy
         self.breaker = breaker
         self.deadline_seconds = deadline_seconds
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._metrics = metrics
 
     @property
-    def mode(self) -> str:
+    def keyword_search(self) -> Retriever | None:
+        """Deprecated accessor: the first priority retriever, if any."""
+        return self.priority_retrievers[0] if self.priority_retrievers else None
+
+    @property
+    def mode(self) -> PipelineMode:
         if self.retriever is None:
-            return "baseline"
-        return "rag+rerank" if self.reranker is not None else "rag"
+            return PipelineMode.BASELINE
+        return PipelineMode.RAG_RERANK if self.reranker is not None else PipelineMode.RAG
+
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_registry()
 
     # ------------------------------------------------------------------ stages
     def _locate(self, question: str) -> list[RetrievedDocument]:
-        """Box 1: vector search plus PETSc-specific keyword search."""
+        """Box 1: every retriever runs in its own child span."""
         assert self.retriever is not None
-        hits = self.retriever.retrieve(question, k=self.first_pass_k)
-        if self.keyword_search is not None:
-            # Keyword hits are prepended: an exact manual-page match is
-            # the highest-confidence material available.
-            hits = self.keyword_search.retrieve(question, k=2) + hits
-        return dedupe_by_id(hits)[: self.first_pass_k + 2]
+        registry = self._registry()
+        hits: list[RetrievedDocument] = []
+        # Priority hits are prepended: they outrank similarity scores.
+        for r in self.priority_retrievers:
+            with stage(
+                r.name, metric=f"repro.retrieval.{r.name}",
+                tracer=self.tracer, registry=registry, k=self.priority_k,
+            ) as span:
+                found = r.retrieve(question, k=self.priority_k)
+                if span is not None:
+                    span.attributes["hits"] = len(found)
+            hits.extend(found)
+        with stage(
+            self.retriever.name, metric=f"repro.retrieval.{self.retriever.name}",
+            tracer=self.tracer, registry=registry, k=self.first_pass_k,
+        ) as span:
+            found = self.retriever.retrieve(question, k=self.first_pass_k)
+            if span is not None:
+                span.attributes["hits"] = len(found)
+        hits.extend(found)
+        cap = self.first_pass_k + self.priority_k * len(self.priority_retrievers)
+        return dedupe_by_id(hits)[:cap]
 
     def _refine(self, question: str, candidates: list[RetrievedDocument]) -> list[RetrievedDocument]:
         """Box 2: rerank K candidates down to L (or truncate when disabled)."""
@@ -121,67 +199,133 @@ class RAGPipeline:
     def _complete_resilient(
         self, messages: list[ChatMessage], *, key: str, deadline: Deadline | None
     ) -> tuple[CompletionResult, int]:
-        """The LLM call under breaker + retry policy; returns (result, attempts)."""
-        if self.breaker is None:
-            call = lambda: self.chat_model.complete(messages)  # noqa: E731
-        else:
-            call = lambda: self.breaker.call(lambda: self.chat_model.complete(messages))  # noqa: E731
+        """The LLM call under breaker + retry policy; returns (result, attempts).
+
+        Each try opens an ``attempt`` child span under the current
+        (``llm``) span; breaker state transitions observed across a call
+        become span events.
+        """
+        counter = itertools.count(1)
+
+        def base_call() -> CompletionResult:
+            return self.chat_model.complete(messages)
+
+        def guarded_call() -> CompletionResult:
+            if self.breaker is None:
+                return base_call()
+            before = self.breaker.state
+            try:
+                return self.breaker.call(base_call)
+            finally:
+                after = self.breaker.state
+                if after is not before:
+                    self.tracer.event(
+                        f"breaker:{after.value}", breaker=self.breaker.name
+                    )
+
+        def attempt_call() -> CompletionResult:
+            with self.tracer.span("attempt", index=next(counter)):
+                return guarded_call()
+
         if self.retry_policy is None:
-            return call(), 1
+            return attempt_call(), 1
         outcome = self.retry_policy.execute(
-            call, key=("llm", self.chat_model.name, key), deadline=deadline
+            attempt_call, key=("llm", self.chat_model.name, key), deadline=deadline
         )
+        if outcome.attempts > 1:
+            self.tracer.event("llm:retried", attempts=outcome.attempts)
         assert isinstance(outcome.value, CompletionResult)
         return outcome.value, outcome.attempts
 
     # ------------------------------------------------------------------ entry
     def answer(self, question: str) -> PipelineResult:
-        """Run the full pipeline with the degradation ladder.
+        """Run the full pipeline with the degradation ladder, traced.
 
-        Ladder (each rung trades quality for availability):
-        reranker failure -> truncate candidates to L; retrieval failure ->
-        fall back to the baseline (no-context) prompt; transient LLM
-        failure -> retry under the policy.  Only when every rung is
-        exhausted does the error propagate.
+        Ladder (each rung trades quality for availability): reranker
+        failure -> truncate candidates to L; retrieval failure -> fall
+        back to the baseline (no-context) prompt; transient LLM failure
+        -> retry under the policy.  Only when every rung is exhausted
+        does the error propagate.  Every rung taken is recorded both in
+        ``degraded`` and as an event on the root span.
         """
-        degraded: list[str] = []
+        registry = self._registry()
+        registry.counter("repro.pipeline.requests").inc()
+        degraded: list[DegradationEvent] = []
         candidates: list[RetrievedDocument] = []
         contexts: list[RetrievedDocument] = []
-        rag_seconds = 0.0
         deadline = (
             Deadline(self.deadline_seconds) if self.deadline_seconds is not None else None
         )
         located = False
-        if self.retriever is not None:
-            t0 = time.perf_counter()
-            try:
-                candidates = self._locate(question)
-                located = True
-            except ReproError:
-                degraded.append("retrieval:baseline-fallback")
-            if located:
-                try:
-                    contexts = self._refine(question, candidates)
-                except ReproError:
-                    degraded.append("rerank:truncate")
-                    contexts = candidates[: self.final_l]
-            rag_seconds = time.perf_counter() - t0
-        if located:
-            prompt = RAG_PROMPT.format(context=format_context(contexts), question=question)
-        else:
-            prompt = BASELINE_PROMPT.format(question=question)
+        try:
+            with self.tracer.trace(
+                "pipeline", mode=str(self.mode), model=self.chat_model.name
+            ) as trace:
 
-        messages = [
-            ChatMessage(role="system", content=RAG_SYSTEM_PROMPT),
-            ChatMessage(role="user", content=prompt),
-        ]
-        t0 = time.perf_counter()
-        completion, attempts = self._complete_resilient(
-            messages, key=question, deadline=deadline
+                def degrade(event: DegradationEvent) -> None:
+                    degraded.append(event)
+                    trace.root.add_event(str(event), at=self.tracer.clock())
+                    registry.counter("repro.pipeline.degradations").inc()
+                    registry.counter(
+                        f"repro.pipeline.degradation.{event.metric_suffix}"
+                    ).inc()
+
+                if self.retriever is not None:
+                    try:
+                        with stage(
+                            "locate", metric="repro.pipeline.locate",
+                            tracer=self.tracer, registry=registry,
+                        ):
+                            candidates = self._locate(question)
+                        located = True
+                    except ReproError:
+                        degrade(DegradationEvent.RETRIEVAL_BASELINE_FALLBACK)
+                    if located:
+                        try:
+                            with stage(
+                                "refine", metric="repro.pipeline.refine",
+                                tracer=self.tracer, registry=registry,
+                                reranker=self.reranker.name if self.reranker else "truncate",
+                            ):
+                                contexts = self._refine(question, candidates)
+                        except ReproError:
+                            degrade(DegradationEvent.RERANK_TRUNCATE)
+                            contexts = candidates[: self.final_l]
+                if located:
+                    prompt = RAG_PROMPT.format(
+                        context=format_context(contexts), question=question
+                    )
+                else:
+                    prompt = BASELINE_PROMPT.format(question=question)
+
+                messages = [
+                    ChatMessage(role="system", content=RAG_SYSTEM_PROMPT),
+                    ChatMessage(role="user", content=prompt),
+                ]
+                with stage(
+                    "llm", metric="repro.pipeline.llm",
+                    tracer=self.tracer, registry=registry, model=self.chat_model.name,
+                ):
+                    completion, attempts = self._complete_resilient(
+                        messages, key=question, deadline=deadline
+                    )
+                if completion.finish_reason == "length":
+                    degrade(DegradationEvent.LLM_TRUNCATED)
+        except BaseException:
+            registry.counter("repro.pipeline.failures").inc()
+            raise
+
+        registry.counter("repro.llm.completions").inc()
+        registry.counter("repro.llm.prompt_tokens").inc(completion.usage.prompt_tokens)
+        registry.counter("repro.llm.completion_tokens").inc(
+            completion.usage.completion_tokens
         )
-        llm_seconds = time.perf_counter() - t0
-        if completion.finish_reason == "length":
-            degraded.append("llm:truncated")
+        registry.histogram(
+            "repro.pipeline.attempts", _ATTEMPT_BUCKETS, deterministic=True
+        ).observe(attempts)
+        registry.histogram(
+            "repro.pipeline.contexts", _CONTEXT_BUCKETS, deterministic=True
+        ).observe(len(contexts))
 
         return PipelineResult(
             question=question,
@@ -191,11 +335,10 @@ class RAGPipeline:
             contexts=contexts,
             candidates=candidates,
             prompt=prompt,
-            rag_seconds=rag_seconds,
-            llm_seconds=llm_seconds,
             completion=completion,
             attempts=attempts,
             degraded=degraded,
+            trace=trace,
         )
 
 
@@ -203,21 +346,26 @@ def build_rag_pipeline(
     bundle: CorpusBundle,
     config: WorkflowConfig | None = None,
     *,
-    mode: str = "rag+rerank",
+    mode: str | PipelineMode = PipelineMode.RAG_RERANK,
     fault_injector: FaultInjector | None = None,
 ) -> RAGPipeline:
     """Construct a pipeline over the corpus in one of the three modes.
 
-    ``mode``: ``"baseline"``, ``"rag"``, or ``"rag+rerank"``.
-    ``fault_injector`` chaos-wraps the chat model, retriever, and
-    reranker hops for reproducible failure testing.
+    ``mode`` accepts a :class:`PipelineMode` or its wire string
+    (``"baseline"``, ``"rag"``, ``"rag+rerank"``).  ``fault_injector``
+    chaos-wraps the chat model, retriever, and reranker hops for
+    reproducible failure testing.
     """
     config = config or WorkflowConfig()
     config.validate()
+    mode = PipelineMode.coerce(mode)
     rc: RetrievalConfig = config.retrieval
     resil = config.resilience
     policy = RetryPolicy.from_config(resil) if resil.enabled else None
     breaker = CircuitBreaker.from_config(resil, name="llm") if resil.enabled else None
+    # metrics=None routes to the process registry; a disabled config gets
+    # a private sink so the shared registry stays untouched.
+    metrics = None if config.observability.metrics_enabled else MetricsRegistry()
 
     keyword = ManualPageKeywordSearch(bundle)
     chat: ChatModel = create_chat_model(
@@ -228,12 +376,13 @@ def build_rag_pipeline(
     )
     if fault_injector is not None:
         chat = fault_injector.wrap_model(chat)
-    if mode == "baseline":
+    if mode is PipelineMode.BASELINE:
         return RAGPipeline(
             chat,
             retry_policy=policy,
             breaker=breaker,
             deadline_seconds=resil.deadline_seconds,
+            metrics=metrics,
         )
 
     chunks = chunk_corpus(
@@ -249,36 +398,36 @@ def build_rag_pipeline(
     retriever: Retriever = VectorRetriever(store)
     if fault_injector is not None:
         retriever = fault_injector.wrap_retriever(retriever)
-    kw = keyword if rc.use_keyword_search else None
+    priority = [keyword] if rc.use_keyword_search else None
 
-    if mode == "rag":
+    if mode is PipelineMode.RAG:
         return RAGPipeline(
             chat,
             retriever=retriever,
-            keyword_search=kw,
+            priority_retrievers=priority,
             first_pass_k=rc.first_pass_k,
             final_l=rc.final_l,
             retry_policy=policy,
             breaker=breaker,
             deadline_seconds=resil.deadline_seconds,
+            metrics=metrics,
         )
-    if mode == "rag+rerank":
-        reranker: Reranker
-        if rc.reranker == "flashrank-lite":
-            reranker = FlashrankLiteReranker(chunks)
-        else:
-            reranker = NvidiaSimReranker(chunks)
-        if fault_injector is not None:
-            reranker = fault_injector.wrap_reranker(reranker)
-        return RAGPipeline(
-            chat,
-            retriever=retriever,
-            keyword_search=kw,
-            reranker=reranker,
-            first_pass_k=rc.first_pass_k,
-            final_l=rc.final_l,
-            retry_policy=policy,
-            breaker=breaker,
-            deadline_seconds=resil.deadline_seconds,
-        )
-    raise ConfigurationError(f"unknown pipeline mode {mode!r}")
+    reranker: Reranker
+    if rc.reranker == "flashrank-lite":
+        reranker = FlashrankLiteReranker(chunks)
+    else:
+        reranker = NvidiaSimReranker(chunks)
+    if fault_injector is not None:
+        reranker = fault_injector.wrap_reranker(reranker)
+    return RAGPipeline(
+        chat,
+        retriever=retriever,
+        priority_retrievers=priority,
+        reranker=reranker,
+        first_pass_k=rc.first_pass_k,
+        final_l=rc.final_l,
+        retry_policy=policy,
+        breaker=breaker,
+        deadline_seconds=resil.deadline_seconds,
+        metrics=metrics,
+    )

@@ -1,0 +1,66 @@
+"""Typed pipeline vocabulary: modes and degradation events.
+
+Both enums mix in ``str`` and serialize to the exact strings the
+interaction-history JSONL, the CLI output, and the chaos digests have
+always used — ``PipelineMode.RAG_RERANK == "rag+rerank"`` is ``True``
+and ``json.dumps`` emits the bare string — so replacing the stringly
+typed values is not a schema break.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class PipelineMode(str, enum.Enum):
+    """The three pipeline configurations of the paper's evaluation."""
+
+    BASELINE = "baseline"
+    RAG = "rag"
+    RAG_RERANK = "rag+rerank"
+
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @classmethod
+    def coerce(cls, value: "str | PipelineMode") -> "PipelineMode":
+        """Accept either the enum or its wire string; reject anything else."""
+        try:
+            return cls(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown pipeline mode {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+class DegradationEvent(str, enum.Enum):
+    """The degradation-ladder rungs a pipeline invocation may take.
+
+    Values are the wire strings persisted in history records since the
+    resilience PR; they double as the span-event names on the trace.
+    """
+
+    RETRIEVAL_BASELINE_FALLBACK = "retrieval:baseline-fallback"
+    RERANK_TRUNCATE = "rerank:truncate"
+    LLM_TRUNCATED = "llm:truncated"
+
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @classmethod
+    def coerce(cls, value: "str | DegradationEvent") -> "DegradationEvent":
+        try:
+            return cls(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown degradation event {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+    @property
+    def metric_suffix(self) -> str:
+        """The event as a metric-name segment (``rerank_truncate``)."""
+        return self.value.replace(":", "_").replace("-", "_")

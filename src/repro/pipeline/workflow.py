@@ -8,6 +8,7 @@ from repro.config import WorkflowConfig
 from repro.corpus.builder import CorpusBundle, build_default_corpus
 from repro.history import InteractionStore
 from repro.pipeline.rag import PipelineResult, RAGPipeline, build_rag_pipeline
+from repro.pipeline.types import PipelineMode
 from repro.postprocess import check_code_block, extract_code_blocks, render_html
 from repro.postprocess.codecheck import CodeCheckResult
 
@@ -45,12 +46,14 @@ class AugmentedWorkflow:
         store: InteractionStore | None = None,
         embedding_model: str = "",
         record_history: bool = True,
+        record_traces: bool = True,
     ) -> None:
         self.bundle = bundle
         self.pipeline = pipeline
         self.store = store if store is not None else InteractionStore()
         self.embedding_model = embedding_model
         self.record_history = record_history
+        self.record_traces = record_traces
         self._known = frozenset(bundle.manual_page_names)
 
     def feed_history_into_rag(self, *, min_mean_score: float = 3.0) -> int:
@@ -80,7 +83,10 @@ class AugmentedWorkflow:
         interaction_id: str | None = None
         if self.record_history:
             rec = self.store.record_pipeline_result(
-                result, embedding_model=self.embedding_model, tags=tags
+                result,
+                embedding_model=self.embedding_model,
+                tags=tags,
+                include_trace=self.record_traces,
             )
             interaction_id = rec.interaction_id
         return WorkflowAnswer(
@@ -92,17 +98,21 @@ def build_workflow(
     bundle: CorpusBundle | None = None,
     config: WorkflowConfig | None = None,
     *,
-    mode: str = "rag+rerank",
+    mode: str | PipelineMode = PipelineMode.RAG_RERANK,
     store: InteractionStore | None = None,
 ) -> AugmentedWorkflow:
     """One-call construction of the complete workflow."""
     bundle = bundle or build_default_corpus()
     config = config or WorkflowConfig()
+    mode = PipelineMode.coerce(mode)
     pipeline = build_rag_pipeline(bundle, config, mode=mode)
     return AugmentedWorkflow(
         bundle,
         pipeline,
         store=store,
-        embedding_model=config.retrieval.embedding_model if mode != "baseline" else "",
+        embedding_model=(
+            config.retrieval.embedding_model if mode is not PipelineMode.BASELINE else ""
+        ),
         record_history=config.record_history,
+        record_traces=config.observability.record_traces,
     )

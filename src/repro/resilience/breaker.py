@@ -14,6 +14,7 @@ from typing import Callable, TypeVar
 
 from repro.config import ResilienceConfig
 from repro.errors import CircuitOpenError, ConfigurationError, is_retry_safe
+from repro.observability.metrics import get_registry
 
 T = TypeVar("T")
 
@@ -90,6 +91,7 @@ class CircuitBreaker:
         """Admit or reject one call; raises :class:`CircuitOpenError` if open."""
         if self.state is BreakerState.OPEN:
             self.calls_rejected += 1
+            get_registry().counter("repro.resilience.breaker_rejections").inc()
             remaining = self.recovery_seconds - (self._clock() - self._opened_at)
             raise CircuitOpenError(
                 f"circuit {self.name!r} is open ({self._consecutive_failures} consecutive "
@@ -118,6 +120,7 @@ class CircuitBreaker:
         self._state = BreakerState.OPEN
         self._opened_at = self._clock()
         self.times_opened += 1
+        get_registry().counter("repro.resilience.breaker_opened").inc()
 
     # ------------------------------------------------------------ calls
     def call(self, fn: Callable[[], T]) -> T:

@@ -24,6 +24,7 @@ from typing import Callable, TypeVar
 
 from repro.errors import ConfigurationError, TransientError
 from repro.llm.base import ChatMessage, ChatModel, CompletionResult
+from repro.observability.metrics import get_registry
 from repro.rerank.base import Reranker, RerankResult
 from repro.retrieval.base import RetrievedDocument, Retriever
 from repro.utils.rng import rng_for
@@ -98,6 +99,8 @@ class FaultInjector:
         else:
             kind = OK
         self._events.append(FaultEvent(site=site, call_index=n, kind=kind))
+        if kind != OK:
+            get_registry().counter(f"repro.resilience.faults_{kind}").inc()
         return kind
 
     def _maybe_raise(self, site: str) -> str:
@@ -176,6 +179,7 @@ class FaultyRetriever(Retriever):
         self.inner = inner
         self.injector = injector
         self.site = site
+        self.name = inner.name
 
     def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
         self.injector._maybe_raise(self.site)

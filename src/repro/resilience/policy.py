@@ -15,6 +15,7 @@ from typing import Callable, TypeVar
 
 from repro.config import ResilienceConfig
 from repro.errors import ConfigurationError, DeadlineExceededError, is_retry_safe
+from repro.observability.metrics import get_registry
 from repro.utils.rng import rng_for
 
 T = TypeVar("T")
@@ -143,8 +144,10 @@ class RetryPolicy:
                 errors.append(f"{type(exc).__name__}: {exc}")
                 if not classify(exc) or attempt == self.max_attempts:
                     raise
+                get_registry().counter("repro.resilience.retries").inc()
                 delay = delays[attempt - 1]
                 if deadline is not None and deadline.remaining() < delay:
+                    get_registry().counter("repro.resilience.deadline_exceeded").inc()
                     raise DeadlineExceededError(
                         f"deadline exhausted before retry {attempt + 1} "
                         f"(backoff {delay:.3f}s > remaining {deadline.remaining():.3f}s)"

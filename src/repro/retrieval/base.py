@@ -31,6 +31,10 @@ class RetrievedDocument:
 class Retriever(ABC):
     """Returns the top-k most relevant documents for a query string."""
 
+    #: Short identifier used for span names, metric names
+    #: (``repro.retrieval.<name>``), and ``RetrievedDocument.origin``.
+    name: str = "retriever"
+
     @abstractmethod
     def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
         """Top-k documents, best first."""

@@ -19,6 +19,8 @@ from repro.utils.textproc import tokenize
 class BM25Retriever(Retriever):
     """Okapi BM25 with the standard k1/b parametrization."""
 
+    name = "bm25"
+
     def __init__(self, documents: list[Document], *, k1: float = 1.5, b: float = 0.75) -> None:
         if not documents:
             raise RetrievalError("BM25 needs at least one document")

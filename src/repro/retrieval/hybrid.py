@@ -38,6 +38,8 @@ def reciprocal_rank_fusion(
 class HybridRetriever(Retriever):
     """Runs several retrievers and fuses their rankings with RRF."""
 
+    name = "hybrid"
+
     def __init__(self, retrievers: list[Retriever], *, rrf_k: float = 60.0) -> None:
         if not retrievers:
             raise RetrievalError("HybridRetriever needs at least one retriever")

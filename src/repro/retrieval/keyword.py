@@ -18,6 +18,8 @@ from repro.utils.textproc import code_tokens
 class ManualPageKeywordSearch(Retriever):
     """Exact manual-page lookup for identifiers mentioned in the query."""
 
+    name = "keyword"
+
     def __init__(self, bundle: CorpusBundle) -> None:
         self._pages: dict[str, Document] = dict(bundle.manual_page_names)
         # Option keys resolve to the page whose Options section mentions them.

@@ -9,6 +9,8 @@ from repro.vectorstore import VectorStore
 class VectorRetriever(Retriever):
     """Embedding similarity search (the RAG first pass, K=8 in the paper)."""
 
+    name = "vector"
+
     def __init__(self, store: VectorStore, *, where: dict | None = None) -> None:
         self.store = store
         self.where = where
