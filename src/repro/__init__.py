@@ -21,8 +21,10 @@ Main entry points
 ``run_experiment``            grade a pipeline over the benchmark
 """
 
-from repro.config import RetrievalConfig, WorkflowConfig
+from repro.config import EngineConfig, RetrievalConfig, WorkflowConfig
 from repro.corpus import build_default_corpus
+from repro.engine import QueryEngine
+from repro.index import IndexArtifact, get_or_build_index
 from repro.pipeline import AugmentedWorkflow, RAGPipeline, build_rag_pipeline, build_workflow
 from repro.bots import build_support_system
 from repro.evaluation import (
@@ -35,9 +37,13 @@ from repro.evaluation import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineConfig",
     "RetrievalConfig",
     "WorkflowConfig",
     "build_default_corpus",
+    "IndexArtifact",
+    "QueryEngine",
+    "get_or_build_index",
     "AugmentedWorkflow",
     "RAGPipeline",
     "build_rag_pipeline",

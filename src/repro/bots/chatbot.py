@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.discordsim.app import App
 from repro.discordsim.channels import ForumPost
@@ -32,6 +33,9 @@ from repro.mail.mailinglist import MailingList
 from repro.mail.message import EmailMessage
 from repro.pipeline.rag import PipelineResult, RAGPipeline
 from repro.prompts import REVISE_PROMPT
+
+if TYPE_CHECKING:
+    from repro.engine import QueryEngine
 
 
 @dataclass
@@ -64,9 +68,13 @@ class PetscChatbot(App):
         mailing_list: MailingList,
         bot_email: str = "petscbot@gmail.com",
         store: InteractionStore | None = None,
+        engine: "QueryEngine | None" = None,
     ) -> None:
         super().__init__(name="petsc-chatbot", server=server, gateway=gateway)
         self.pipeline = pipeline
+        #: When set, questions route through the engine's shared caches
+        #: instead of calling the pipeline directly.
+        self.engine = engine
         self.mailing_list = mailing_list
         self.bot_email = bot_email
         self.store = store if store is not None else InteractionStore()
@@ -74,6 +82,11 @@ class PetscChatbot(App):
         self.sent_emails: list[EmailMessage] = []
         self._dms: dict[int, DirectConversation] = {}
         self.command("reply", "Draft an LLM answer for a petsc-users post", self._cmd_reply)
+
+    def _answer(self, question: str) -> PipelineResult:
+        if self.engine is not None:
+            return self.engine.answer(question, mode=self.pipeline.mode)
+        return self.pipeline.answer(question)
 
     # ------------------------------------------------------------ /reply flow
     def _require_developer(self, user: User) -> None:
@@ -93,7 +106,7 @@ class PetscChatbot(App):
     def _cmd_reply(self, invoker: User, *, post: ForumPost) -> DraftState:
         self._require_developer(invoker)
         question = self.build_context(post)
-        result = self.pipeline.answer(question)
+        result = self._answer(question)
         return self._add_draft(post, question, result)
 
     def _add_draft(
@@ -177,7 +190,7 @@ class PetscChatbot(App):
         # retrieval sees the combined text, matching llmcord's behavior of
         # extending the conversation.
         get_registry().counter("repro.bots.revisions").inc()
-        result = self.pipeline.answer(f"{state.question}\n\n{guidance}")
+        result = self._answer(f"{state.question}\n\n{guidance}")
         result.prompt = prompt
         return self._add_draft(state.post, state.question, result, revision_of=message.message_id)
 
@@ -187,7 +200,7 @@ class PetscChatbot(App):
         conv = self._dms.setdefault(user.user_id, DirectConversation(user=user))
         get_registry().counter("repro.bots.dms").inc()
         conv.turns.append(("user", text))
-        result = self.pipeline.answer(text)
+        result = self._answer(text)
         self.store.record_pipeline_result(result, tags=[f"dm:{user.name}", "unvetted"])
         reply = (
             f"{result.answer}\n\n"

@@ -26,7 +26,9 @@ from repro.mail.appsscript import AppsScriptPoller
 from repro.mail.gmail import GmailAccount
 from repro.mail.mailinglist import MailingList
 from repro.mail.message import EmailMessage
+from repro.engine import QueryEngine
 from repro.pipeline.rag import build_rag_pipeline
+from repro.pipeline.types import PipelineMode
 from repro.resilience import FaultInjector, RetryPolicy
 
 
@@ -120,10 +122,20 @@ def build_support_system(
 
     email_bot = EmailBot(server, gateway, account=account)
     store = InteractionStore()
-    pipeline = build_rag_pipeline(bundle, config, mode=mode, fault_injector=fault_injector)
+    # Non-baseline bots serve through the shared index artifact; chaos
+    # builds keep determinism because a fault injector disables the
+    # engine's answer cache.
+    if PipelineMode.coerce(mode) is PipelineMode.BASELINE:
+        engine = None
+        pipeline = build_rag_pipeline(
+            bundle, config, mode=mode, fault_injector=fault_injector
+        )
+    else:
+        engine = QueryEngine.from_corpus(bundle, config, fault_injector=fault_injector)
+        pipeline = engine.pipeline(mode)
     chatbot = PetscChatbot(
         server, gateway, pipeline=pipeline, mailing_list=mailing_list,
-        bot_email=bot_email, store=store,
+        bot_email=bot_email, store=store, engine=engine,
     )
 
     return SupportSystem(

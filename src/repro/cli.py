@@ -27,6 +27,15 @@ facilitate various use cases."  This module is that CLI:
     Drive a small benchmark workload against a fresh metrics registry
     and print the resulting instruments plus deterministic digests
     (same seed → byte-identical output).
+
+``python -m repro batch QUESTIONS.txt``
+    Answer a file of questions (one per line, or a JSON array) through
+    the batched query engine and print per-question outcomes plus
+    aggregate cache-hit and throughput statistics.
+
+All question-answering commands serve through a shared
+:class:`~repro.engine.QueryEngine` over one cached index artifact, so a
+multi-command process builds the index exactly once.
 """
 
 from __future__ import annotations
@@ -37,8 +46,11 @@ import json
 import sys
 from typing import Sequence
 
+from pathlib import Path
+
 from repro.config import RetrievalConfig, WorkflowConfig
 from repro.corpus import CorpusBuilder, build_default_corpus
+from repro.engine import QueryEngine
 from repro.errors import ReproError
 from repro.embeddings import EMBEDDING_MODEL_NAMES
 from repro.evaluation import (
@@ -51,9 +63,10 @@ from repro.evaluation import (
 )
 from repro.evaluation.casestudies import CASE_STUDY_1_QID, CASE_STUDY_2_QID, run_case_study
 from repro.evaluation.benchmark import krylov_benchmark
+from repro.index import get_or_build_index
 from repro.llm import CHAT_MODEL_NAMES
 from repro.observability import MetricsRegistry, use_registry
-from repro.pipeline import build_rag_pipeline
+from repro.pipeline.rag import pipeline_from_artifact
 from repro.resilience import FaultConfig, FaultInjector
 from repro.retrieval import ManualPageKeywordSearch
 
@@ -126,6 +139,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-call probability of an injected transient error",
     )
 
+    batch = sub.add_parser(
+        "batch", help="answer a file of questions through the batched engine"
+    )
+    batch.add_argument(
+        "path", help="questions file: one per line, or a JSON array of strings"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads (default: engine config)",
+    )
+    batch.add_argument("--seed", type=int, default=0, help="per-request RNG seed")
+    batch.add_argument("--show-answers", action="store_true")
+
     return parser
 
 
@@ -145,9 +171,8 @@ def _grader(bundle) -> BlindGrader:
 
 
 def cmd_ask(args: argparse.Namespace) -> int:
-    bundle = build_default_corpus()
-    pipeline = build_rag_pipeline(bundle, _config(args), mode=args.mode)
-    result = pipeline.answer(args.question)
+    engine = QueryEngine.from_corpus(config=_config(args))
+    result = engine.answer(args.question, mode=args.mode)
     print(result.answer)
     if args.show_contexts and result.contexts:
         print("\n-- contexts --", file=sys.stderr)
@@ -169,8 +194,8 @@ def cmd_ask(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
-    pipeline = build_rag_pipeline(bundle, _config(args), mode=args.mode)
-    run = run_experiment(pipeline, _grader(bundle))
+    engine = QueryEngine.from_corpus(bundle, _config(args))
+    run = run_experiment(engine.pipeline(args.mode), _grader(bundle))
     print(render_score_histogram(run, title=f"{args.mode} ({args.model} + {args.embedding})"))
     return 0
 
@@ -178,10 +203,10 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
     grader = _grader(bundle)
-    cfg = _config(args)
+    # One engine serves all three modes from the same index artifact.
+    engine = QueryEngine.from_corpus(bundle, _config(args))
     runs = {
-        mode: run_experiment(build_rag_pipeline(bundle, cfg, mode=mode), grader)
-        for mode in _MODES
+        mode: run_experiment(engine.pipeline(mode), grader) for mode in _MODES
     }
     print(render_comparison(compare_modes(runs["baseline"], runs["rag"]),
                             title="Fig. 6a — baseline vs RAG"))
@@ -203,9 +228,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
 def cmd_casestudy(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
-    cfg = _config(args)
-    rag = build_rag_pipeline(bundle, cfg, mode="rag")
-    rerank = build_rag_pipeline(bundle, cfg, mode="rag+rerank")
+    engine = QueryEngine.from_corpus(bundle, _config(args))
+    rag = engine.pipeline("rag")
+    rerank = engine.pipeline("rag+rerank")
     qid = CASE_STUDY_1_QID if args.number == 1 else CASE_STUDY_2_QID
     res = run_case_study(qid, rag, rerank, _grader(bundle))
     print(f"Case Study {args.number} (paper Fig. {6 + args.number})")
@@ -234,11 +259,17 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         if args.transient_rate > 0
         else None
     )
+    cfg = _config(args)
+    # Resolve the artifact *before* scoping the registry: index build /
+    # cache counters vary with process history (first call builds,
+    # later calls hit), and folding them into the measured registry
+    # would break the same-workload digest-equality guarantee.
+    artifact = get_or_build_index(bundle, cfg)
     registry = MetricsRegistry()
     traces = []
     with use_registry(registry):
-        pipeline = build_rag_pipeline(
-            bundle, _config(args), mode=args.mode, fault_injector=injector
+        pipeline = pipeline_from_artifact(
+            artifact, cfg, mode=args.mode, fault_injector=injector
         )
         for q in krylov_benchmark()[: args.questions]:
             try:
@@ -277,8 +308,48 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_questions(path: str) -> list[str]:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read questions file {path}: {exc}") from exc
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"invalid JSON questions file {path}: {exc}") from exc
+        if not isinstance(data, list) or not all(isinstance(q, str) for q in data):
+            raise ReproError(f"JSON questions file {path} must be an array of strings")
+        questions = [q.strip() for q in data if q.strip()]
+    else:
+        questions = [line.strip() for line in text.splitlines() if line.strip()]
+    if not questions:
+        raise ReproError(f"questions file {path} is empty")
+    return questions
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    questions = _read_questions(args.path)
+    registry = MetricsRegistry()
+    engine = QueryEngine.from_corpus(config=_config(args), registry=registry)
+    batch = engine.answer_many(
+        questions, mode=args.mode, workers=args.workers, seed=args.seed
+    )
+    print(batch.render(show_answers=args.show_answers))
+    print("cache stats:")
+    for cache in ("answer_cache", "retrieval_cache", "embedding_cache"):
+        hits = registry.counter(f"repro.engine.{cache}.hits").value
+        misses = registry.counter(f"repro.engine.{cache}.misses").value
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "n/a"
+        print(f"  {cache:<18}{hits:>6} hits / {misses:>6} misses  ({rate})")
+    return 0 if batch.answered_count == len(batch.items) else 1
+
+
 _COMMANDS = {
     "ask": cmd_ask,
+    "batch": cmd_batch,
     "evaluate": cmd_evaluate,
     "compare": cmd_compare,
     "corpus": cmd_corpus,

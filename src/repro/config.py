@@ -113,6 +113,37 @@ class ObservabilityConfig:
 
 
 @dataclass
+class EngineConfig:
+    """Query-engine parameters: caches, batch scheduling, burn kernel."""
+
+    #: Entries kept per cache; 0 disables that cache entirely.
+    answer_cache_size: int = 256
+    retrieval_cache_size: int = 1024
+    embedding_cache_size: int = 4096
+    #: Default worker-pool width for :meth:`QueryEngine.answer_many`.
+    batch_workers: int = 4
+    #: Vector width of the batched latency-burn kernel.
+    burn_lanes: int = 4096
+    #: Directory for on-disk index artifacts; None keeps them in memory only.
+    index_cache_dir: str | None = None
+
+    def validate(self) -> None:
+        for label, size in (
+            ("answer_cache_size", self.answer_cache_size),
+            ("retrieval_cache_size", self.retrieval_cache_size),
+            ("embedding_cache_size", self.embedding_cache_size),
+        ):
+            if size < 0:
+                raise ConfigurationError(f"{label} must be >= 0, got {size}")
+        if self.batch_workers <= 0:
+            raise ConfigurationError(
+                f"batch_workers must be positive, got {self.batch_workers}"
+            )
+        if self.burn_lanes <= 0:
+            raise ConfigurationError(f"burn_lanes must be positive, got {self.burn_lanes}")
+
+
+@dataclass
 class WorkflowConfig:
     """End-to-end workflow configuration."""
 
@@ -120,6 +151,7 @@ class WorkflowConfig:
     retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
     #: Latency-burn override for the simulated model; None keeps the
     #: persona default, 0 disables the burn (unit tests).
     iterations_per_token: int | None = None
@@ -129,3 +161,4 @@ class WorkflowConfig:
         self.retrieval.validate()
         self.resilience.validate()
         self.observability.validate()
+        self.engine.validate()

@@ -1,0 +1,106 @@
+"""Request-scoped execution context.
+
+Before this layer, a pipeline invocation pulled its collaborators from a
+mix of globals and ad-hoc keyword arguments: the tracer lived on the
+pipeline (one mutable span stack shared by every caller), the metrics
+registry came from a thread-local, and the deadline was rebuilt from
+config inside ``answer``.  That is fine for one request at a time and
+wrong the moment two requests run concurrently.
+
+:class:`RequestContext` makes the per-request state explicit: one
+object, created at the entry point, threaded through
+pipeline → retrieval → rerank → llm.  Each request gets its *own*
+tracer (so span trees cannot interleave), an explicit registry handle
+(so worker threads report into the caller's scope), a deterministic
+per-request RNG, and — during batched serving — the shared
+:class:`~repro.llm.latency.TokenBurnCollector` that defers generation
+work to the batch coordinator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.observability.trace import Tracer
+from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:
+    from repro.llm.latency import TokenBurnCollector
+    from repro.resilience.policy import Deadline
+
+#: Fallback id source for contexts created without an explicit request id
+#: (interactive/sequential callers).  Engine batches always pass explicit,
+#: deterministic ids, so nothing digest-relevant depends on this counter.
+_ids = itertools.count(1)
+
+
+@dataclass
+class RequestContext:
+    """Everything one request needs, owned by that request alone.
+
+    Attributes
+    ----------
+    request_id:
+        Stable identifier for logs and seed derivation.
+    tracer:
+        The span-tree builder for this request.  Never shared between
+        concurrent requests — a tracer holds a mutable span stack.
+    registry:
+        Metrics sink; ``None`` falls back to the ambient
+        :func:`~repro.observability.metrics.get_registry` scope at the
+        point of use (see :meth:`metrics`).
+    deadline:
+        Optional wall-clock budget for the whole request.
+    seed / rng:
+        Deterministic per-request randomness, derived from
+        ``(request_id, seed)`` so results are independent of worker
+        assignment or completion order.
+    burn_collector:
+        When set (batched serving), the simulated LLM defers its
+        per-token latency burn here instead of spending it inline.
+    scratch:
+        Free-form per-request storage; the engine uses it to record
+        cache touches that must be replayed in deterministic order.
+    """
+
+    request_id: str
+    tracer: Tracer = field(default_factory=Tracer)
+    registry: MetricsRegistry | None = None
+    deadline: "Deadline | None" = None
+    seed: int = 0
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+    burn_collector: "TokenBurnCollector | None" = None
+    scratch: dict = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        request_id: str | None = None,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        deadline: "Deadline | None" = None,
+        burn_collector: "TokenBurnCollector | None" = None,
+    ) -> "RequestContext":
+        rid = request_id if request_id is not None else f"req-{next(_ids):06d}"
+        return cls(
+            request_id=rid,
+            tracer=tracer if tracer is not None else Tracer(),
+            registry=registry,
+            deadline=deadline,
+            seed=seed,
+            rng=np.random.default_rng(derive_seed("request", rid, seed)),
+            burn_collector=burn_collector,
+        )
+
+    def metrics(self) -> MetricsRegistry:
+        """The effective registry: explicit handle or the ambient scope."""
+        return self.registry if self.registry is not None else get_registry()

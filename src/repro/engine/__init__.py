@@ -1,0 +1,25 @@
+"""The engine layer: batched query serving over a shared index artifact.
+
+See DESIGN.md §8 for the artifact/engine/context layering and the
+digest-stability contract the batch scheduler upholds.
+"""
+
+from repro.engine.caches import (
+    CachedEmbedding,
+    CacheTransaction,
+    CachingRetriever,
+    ContextBinder,
+    LRUCache,
+)
+from repro.engine.engine import BatchItem, BatchResult, QueryEngine
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "CacheTransaction",
+    "CachedEmbedding",
+    "CachingRetriever",
+    "ContextBinder",
+    "LRUCache",
+    "QueryEngine",
+]

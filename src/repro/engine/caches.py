@@ -1,0 +1,232 @@
+"""Shared query-time caches with deterministic bookkeeping.
+
+Three caches back the engine: query-embedding, retrieval LRU, and the
+answer cache (the last lives in :mod:`repro.engine.engine`; this module
+provides the primitives and the two wrapper layers).
+
+The determinism problem: an LRU mutates on *every* access (recency
+reordering), so letting batch workers touch a shared LRU concurrently
+would make its ordering — and therefore its future evictions — depend on
+thread scheduling.  The fix is a transaction protocol.  During a batch,
+the shared caches are frozen for writes: workers read them (hit/miss
+counts stay pure functions of the workload, since the frozen contents
+can't change mid-batch) and record every touch and insert into their
+request's :class:`CacheTransaction`.  After the barrier the coordinator
+replays the transactions in request-submission order, so the cache state
+any *future* request observes is identical regardless of how many
+workers ran the batch.
+
+Sequential requests (no transaction bound) mutate the caches directly —
+single-threaded access is already deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, Hashable
+
+import numpy as np
+
+from repro.embeddings.base import EmbeddingModel
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.retrieval.base import RetrievedDocument, Retriever
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``capacity == 0`` disables the cache entirely (every ``get`` misses,
+    every ``put`` is a no-op), which is how config turns a cache off
+    without branching at every call site.  Reads/writes are lock-guarded;
+    deterministic *ordering* under concurrency is the transaction
+    protocol's job, not this class's.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def peek(self, key: Hashable, default: object = None) -> object:
+        """Read without recency reordering (safe during a frozen batch)."""
+        with self._lock:
+            return self._data.get(key, default)
+
+    def touch(self, key: Hashable) -> None:
+        """Mark ``key`` most-recently-used (the replayed half of a hit)."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class CacheTransaction:
+    """Per-request record of deferred cache effects.
+
+    Workers append; the batch coordinator replays via :meth:`commit` in
+    request-submission order after the barrier.
+    """
+
+    def __init__(self) -> None:
+        self.touches: list[tuple[LRUCache, Hashable]] = []
+        self.writes: list[tuple[LRUCache, Hashable, object]] = []
+
+    def touch(self, cache: LRUCache, key: Hashable) -> None:
+        self.touches.append((cache, key))
+
+    def write(self, cache: LRUCache, key: Hashable, value: object) -> None:
+        self.writes.append((cache, key, value))
+
+    def commit(self) -> None:
+        for cache, key in self.touches:
+            cache.touch(key)
+        for cache, key, value in self.writes:
+            cache.put(key, value)
+
+
+class ContextBinder(threading.local):
+    """The engine's thread-local pointer to the request being served.
+
+    Cache wrappers sit below layers whose interfaces don't carry the
+    request context (``EmbeddingModel.embed_query`` is called from
+    inside the vector store), so the engine binds the active context
+    here around each request instead of threading it through every
+    signature on the way down.
+    """
+
+    def __init__(self) -> None:
+        self.ctx: "RequestContext | None" = None
+
+
+def _txn_of(ctx: "RequestContext | None") -> CacheTransaction | None:
+    if ctx is None:
+        return None
+    txn = ctx.scratch.get("cache_txn")
+    return txn if isinstance(txn, CacheTransaction) else None
+
+
+class CachedEmbedding(EmbeddingModel):
+    """Query-embedding memoization in front of a fitted model.
+
+    Document embedding passes straight through (documents are embedded
+    once, at index build); only ``embed_query`` — called on every vector
+    retrieval — is cached.
+    """
+
+    def __init__(
+        self,
+        inner: EmbeddingModel,
+        cache: LRUCache,
+        binder: ContextBinder,
+        registry_fn: Callable[[], MetricsRegistry] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.dim = inner.dim
+        self.cache = cache
+        self.binder = binder
+        self._registry_fn = registry_fn if registry_fn is not None else get_registry
+
+    def _embed_batch(self, texts: list[str]) -> np.ndarray:
+        return self.inner._embed_batch(texts)
+
+    def embed_documents(self, texts: list[str]) -> np.ndarray:
+        return self.inner.embed_documents(texts)
+
+    def embed_query(self, text: str) -> np.ndarray:
+        registry = self._registry_fn()
+        ctx = self.binder.ctx
+        txn = _txn_of(ctx)
+        cached = self.cache.peek(text)
+        if cached is not None:
+            registry.counter("repro.engine.embedding_cache.hits").inc()
+            if txn is not None:
+                txn.touch(self.cache, text)
+            else:
+                self.cache.touch(text)
+            return cached  # vectors are never mutated downstream
+        registry.counter("repro.engine.embedding_cache.misses").inc()
+        vec = self.inner.embed_query(text)
+        vec.flags.writeable = False
+        if txn is not None:
+            txn.write(self.cache, text, vec)
+        else:
+            self.cache.put(text, vec)
+        return vec
+
+
+class CachingRetriever(Retriever):
+    """Retrieval LRU in front of any :class:`Retriever`.
+
+    The cache key is (retriever name, query, k); values are the hit
+    lists, copied shallowly on the way out so callers can slice and
+    reorder without corrupting the cached entry.
+    """
+
+    def __init__(
+        self,
+        inner: Retriever,
+        cache: LRUCache,
+        binder: ContextBinder,
+        registry_fn: Callable[[], MetricsRegistry] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.cache = cache
+        self.binder = binder
+        self._registry_fn = registry_fn if registry_fn is not None else get_registry
+
+    @property
+    def store(self):
+        """Proxy to the wrapped retriever's vector store (workflow feed)."""
+        return self.inner.store
+
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
+        registry = self._registry_fn()
+        ctx = ctx if ctx is not None else self.binder.ctx
+        txn = _txn_of(ctx)
+        key = (self.name, query, k)
+        cached = self.cache.peek(key)
+        if cached is not None:
+            registry.counter("repro.engine.retrieval_cache.hits").inc()
+            if txn is not None:
+                txn.touch(self.cache, key)
+            else:
+                self.cache.touch(key)
+            return list(cached)
+        registry.counter("repro.engine.retrieval_cache.misses").inc()
+        hits = self.inner.retrieve(query, k=k, ctx=ctx)
+        if txn is not None:
+            txn.write(self.cache, key, tuple(hits))
+        else:
+            self.cache.put(key, tuple(hits))
+        return hits

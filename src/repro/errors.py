@@ -76,6 +76,14 @@ class VectorStoreError(ReproError):
     """Vector-store level failure (dimension mismatch, unknown id, ...)."""
 
 
+class IndexBuildError(ReproError):
+    """Index-artifact construction or cache loading failed.
+
+    Permanent: a corrupt on-disk artifact or digest mismatch will not
+    heal on retry — rebuild from the corpus instead.
+    """
+
+
 class RetrievalError(ReproError):
     """A retriever could not satisfy a query.
 

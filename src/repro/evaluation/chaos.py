@@ -17,9 +17,9 @@ from dataclasses import dataclass, field
 
 from repro.config import WorkflowConfig
 from repro.corpus.builder import CorpusBundle
+from repro.engine import QueryEngine
 from repro.errors import EvaluationError, ReproError
 from repro.evaluation.benchmark import BenchmarkQuestion, krylov_benchmark
-from repro.pipeline.rag import build_rag_pipeline
 from repro.resilience import FaultConfig, FaultInjector
 
 
@@ -126,11 +126,14 @@ def run_chaos_experiment(
     config = config or WorkflowConfig(iterations_per_token=0)
     questions = questions if questions is not None else krylov_benchmark()
     injector = FaultInjector(seed, fault_config)
-    pipeline = build_rag_pipeline(bundle, config, mode=mode, fault_injector=injector)
+    # A fault injector disables the engine's answer cache, so every
+    # question hits the chaos-wrapped hops and the fault schedule stays
+    # a pure function of the seed; the index artifact is still shared.
+    engine = QueryEngine.from_corpus(bundle, config, fault_injector=injector)
     run = ChaosRun(seed=seed, mode=mode, fault_config=fault_config)
     for q in questions:
         try:
-            result = pipeline.answer(q.text)
+            result = engine.answer(q.text, mode=mode)
         except ReproError as exc:
             run.outcomes.append(
                 ChaosOutcome(

@@ -1,0 +1,37 @@
+"""The index layer: build once, content-hash, share everywhere.
+
+Splits corpus → chunk → embed → vector-store construction out of the
+pipeline constructors into an immutable, cacheable
+:class:`~repro.index.artifact.IndexArtifact` keyed by a digest of the
+corpus and the index-relevant config.  See DESIGN.md §8.
+"""
+
+from repro.index.artifact import (
+    ARTIFACT_VERSION,
+    IndexArtifact,
+    artifact_digest,
+    config_fingerprint,
+    corpus_digest,
+)
+from repro.index.builder import (
+    build_index,
+    clear_index_cache,
+    compute_digest,
+    get_or_build_index,
+    load_artifact,
+    save_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "IndexArtifact",
+    "artifact_digest",
+    "build_index",
+    "clear_index_cache",
+    "compute_digest",
+    "config_fingerprint",
+    "corpus_digest",
+    "get_or_build_index",
+    "load_artifact",
+    "save_artifact",
+]

@@ -1,0 +1,134 @@
+"""The immutable product of index construction.
+
+An :class:`IndexArtifact` is everything query-time code needs from the
+corpus — chunks, the fitted embedding model, the populated vector store,
+the manual-page name table, the fact registry — plus a content digest
+that names it.  The digest is a pure function of the corpus and the
+index-relevant configuration, so two builds over the same inputs produce
+the same digest whether they ran in this process, a previous process, or
+were loaded from the disk cache.
+
+Artifacts are *shared*: every pipeline mode, bot, evaluation run, and
+benchmark in a process answers over one artifact instead of rebuilding
+the index per constructor.  The sharing contract is immutability — no
+consumer may mutate the artifact's store or chunk list.  Consumers that
+need a mutable store (the workflow feeds vetted history back into its
+RAG database) take a copy-on-write :meth:`fork_store` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.config import RetrievalConfig, WorkflowConfig
+from repro.corpus.builder import CorpusBundle
+from repro.corpus.facts import FactRegistry
+from repro.documents import Document
+from repro.embeddings.base import EmbeddingModel
+from repro.retrieval.keyword import ManualPageKeywordSearch
+from repro.vectorstore.store import VectorStore
+
+#: Format version folded into every digest; bump on layout changes so
+#: stale disk caches miss instead of loading garbage.
+ARTIFACT_VERSION = 1
+
+
+def corpus_digest(bundle: CorpusBundle) -> str:
+    """SHA-256 over every document's (source, text), in corpus order."""
+    h = hashlib.sha256()
+    for doc in bundle.documents:
+        h.update(str(doc.metadata.get("source", "")).encode())
+        h.update(b"\x1f")
+        h.update(doc.text.encode())
+        h.update(b"\x1e")
+    return h.hexdigest()
+
+
+def config_fingerprint(config: WorkflowConfig | RetrievalConfig) -> dict:
+    """The index-relevant configuration slice.
+
+    Only parameters that change the *contents* of the index belong here
+    — chat model, resilience, and observability settings all vary freely
+    over one artifact.
+    """
+    rc = config.retrieval if isinstance(config, WorkflowConfig) else config
+    return {
+        "version": ARTIFACT_VERSION,
+        "embedding_model": rc.embedding_model,
+        "chunk_size": rc.chunk_size,
+        "chunk_overlap": rc.chunk_overlap,
+        "include_mail_archives": rc.include_mail_archives,
+    }
+
+
+def artifact_digest(corpus: str, fingerprint: dict) -> str:
+    """The artifact's name: SHA-256 over corpus digest + fingerprint."""
+    payload = json.dumps(
+        {"corpus": corpus, "config": fingerprint},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class IndexArtifact:
+    """One built index: immutable, content-hashed, shareable.
+
+    Attributes
+    ----------
+    digest:
+        Content hash over (corpus, index config); the cache key on disk
+        and in memory, and a component of every answer-cache key.
+    corpus_digest / fingerprint:
+        The digest's two inputs, kept for inspection and manifests.
+    chunks:
+        The tagged retrieval chunks, in deterministic corpus order
+        (rerankers fit their IDF tables on these).
+    embedding:
+        The fitted embedding model the store's vectors came from.
+    store:
+        The populated vector store.  **Never mutated** — consumers call
+        :meth:`fork_store`.
+    manual_pages:
+        Manual-page name → document, for exact keyword lookup.
+    registry:
+        Ground-truth fact registry (simulated models and graders need it).
+    """
+
+    digest: str
+    corpus_digest: str
+    fingerprint: dict
+    chunks: list[Document]
+    embedding: EmbeddingModel
+    store: VectorStore
+    manual_pages: dict[str, Document] = field(default_factory=dict)
+    registry: FactRegistry | None = None
+
+    # ------------------------------------------------------------ consumers
+    def fork_store(self, *, embedding: EmbeddingModel | None = None) -> VectorStore:
+        """A mutable store sharing this artifact's vectors copy-on-write.
+
+        ``embedding`` substitutes a (caching) wrapper for query
+        embedding; it must be dimension-compatible with the artifact's
+        model.
+        """
+        return self.store.fork(embedding=embedding)
+
+    def keyword_search(self) -> ManualPageKeywordSearch:
+        """A fresh keyword retriever over the manual-page table."""
+        return ManualPageKeywordSearch(self.manual_pages)
+
+    def summary(self) -> dict:
+        """Manifest-shaped description (what ``artifact.json`` stores)."""
+        return {
+            "digest": self.digest,
+            "corpus_digest": self.corpus_digest,
+            "fingerprint": dict(self.fingerprint),
+            "chunk_count": len(self.chunks),
+            "manual_page_count": len(self.manual_pages),
+            "embedding_model": self.embedding.name,
+            "embedding_dim": self.embedding.dim,
+        }

@@ -1,0 +1,204 @@
+"""Index construction, built once per (corpus, config) digest.
+
+The build pipeline — chunk the corpus, fit/instantiate the embedding
+model, embed every chunk into a vector store — used to run inside every
+pipeline constructor.  Here it runs through :func:`get_or_build_index`,
+which consults two caches before doing any work:
+
+1. **In-process**: a module-level table keyed by artifact digest.  Every
+   pipeline mode, bot, evaluation run, and benchmark in one process
+   shares the same artifact; the ``repro.index.builds`` counter stays at
+   1 no matter how many consumers warm-start from it.
+2. **On disk** (optional, ``EngineConfig.index_cache_dir``): the vector
+   store's npz/jsonl persistence plus an ``artifact.json`` manifest,
+   keyed by digest.  A disk hit skips the embedding pass — the single
+   most expensive step — and reproduces a byte-identical artifact
+   (the digest is a pure function of the inputs, and the saved chunk
+   texts refit the corpus-trained embedding deterministically).
+
+A corrupt or mismatched disk entry raises :class:`IndexBuildError`
+internally and falls back to a fresh build that overwrites it; loading
+never silently serves the wrong index.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.config import WorkflowConfig
+from repro.corpus.builder import CorpusBundle, chunk_corpus
+from repro.documents import Document
+from repro.embeddings import create_embedding_model
+from repro.errors import IndexBuildError, ReproError
+from repro.index.artifact import (
+    IndexArtifact,
+    artifact_digest,
+    config_fingerprint,
+    corpus_digest,
+)
+from repro.observability import get_registry
+from repro.vectorstore.store import VectorStore
+
+_STORE_DIR = "store"
+_MANIFEST = "artifact.json"
+
+_cache_lock = threading.Lock()
+_artifacts: dict[str, IndexArtifact] = {}
+
+
+def compute_digest(bundle: CorpusBundle, config: WorkflowConfig | None = None) -> str:
+    """The artifact digest a build over these inputs would produce."""
+    config = config or WorkflowConfig()
+    return artifact_digest(corpus_digest(bundle), config_fingerprint(config))
+
+
+def clear_index_cache() -> None:
+    """Drop every in-process artifact (tests and long-lived daemons)."""
+    with _cache_lock:
+        _artifacts.clear()
+
+
+def build_index(bundle: CorpusBundle, config: WorkflowConfig | None = None) -> IndexArtifact:
+    """Build an artifact from scratch: chunk → embed → store.
+
+    This is the uncached path; callers almost always want
+    :func:`get_or_build_index`.
+    """
+    config = config or WorkflowConfig()
+    rc = config.retrieval
+    get_registry().counter("repro.index.builds").inc()
+    chunks = chunk_corpus(
+        bundle,
+        include_mail=rc.include_mail_archives,
+        chunk_size=rc.chunk_size,
+        chunk_overlap=rc.chunk_overlap,
+    )
+    embedding = create_embedding_model(
+        rc.embedding_model, corpus_texts=[c.text for c in chunks]
+    )
+    store = VectorStore.from_documents(chunks, embedding)
+    fingerprint = config_fingerprint(config)
+    return IndexArtifact(
+        digest=artifact_digest(corpus_digest(bundle), fingerprint),
+        corpus_digest=corpus_digest(bundle),
+        fingerprint=fingerprint,
+        chunks=chunks,
+        embedding=embedding,
+        store=store,
+        manual_pages=dict(bundle.manual_page_names),
+        registry=bundle.registry,
+    )
+
+
+# ------------------------------------------------------------------ disk cache
+def save_artifact(artifact: IndexArtifact, cache_dir: str | Path) -> Path:
+    """Persist the artifact under ``cache_dir/<digest16>/``."""
+    root = Path(cache_dir) / artifact.digest[:16]
+    root.mkdir(parents=True, exist_ok=True)
+    artifact.store.save(root / _STORE_DIR)
+    (root / _MANIFEST).write_text(
+        json.dumps(artifact.summary(), indent=2, sort_keys=True)
+    )
+    get_registry().counter("repro.index.disk_writes").inc()
+    return root
+
+
+def load_artifact(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None,
+    cache_dir: str | Path,
+) -> IndexArtifact:
+    """Load the artifact for (bundle, config) from the disk cache.
+
+    Raises :class:`IndexBuildError` on a miss, a digest mismatch, or a
+    corrupt entry — the caller decides whether to fall back to a build.
+    The embedding pass is skipped: saved chunk texts refit the embedding
+    model deterministically and the vectors load straight from npz.
+    """
+    config = config or WorkflowConfig()
+    expected = compute_digest(bundle, config)
+    root = Path(cache_dir) / expected[:16]
+    manifest_path = root / _MANIFEST
+    if not manifest_path.is_file():
+        raise IndexBuildError(f"no cached artifact under {root}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexBuildError(f"unreadable artifact manifest {manifest_path}: {exc}") from exc
+    if manifest.get("digest") != expected:
+        raise IndexBuildError(
+            f"cached artifact digest {manifest.get('digest')!r} != expected {expected!r}"
+        )
+    store_dir = root / _STORE_DIR
+    try:
+        chunk_lines = (store_dir / "documents.jsonl").read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise IndexBuildError(f"unreadable cached store in {store_dir}: {exc}") from exc
+    chunks = [
+        Document(text=obj["text"], metadata=obj["metadata"])
+        for obj in map(json.loads, chunk_lines)
+    ]
+    if len(chunks) != int(manifest.get("chunk_count", -1)):
+        raise IndexBuildError(
+            f"cached store holds {len(chunks)} chunks, manifest says "
+            f"{manifest.get('chunk_count')}"
+        )
+    try:
+        embedding = create_embedding_model(
+            config.retrieval.embedding_model, corpus_texts=[c.text for c in chunks]
+        )
+        store = VectorStore.load(store_dir, embedding)
+    except ReproError as exc:
+        raise IndexBuildError(f"cannot restore cached store in {store_dir}: {exc}") from exc
+    get_registry().counter("repro.index.disk_hits").inc()
+    return IndexArtifact(
+        digest=expected,
+        corpus_digest=corpus_digest(bundle),
+        fingerprint=config_fingerprint(config),
+        chunks=chunks,
+        embedding=embedding,
+        store=store,
+        manual_pages=dict(bundle.manual_page_names),
+        registry=bundle.registry,
+    )
+
+
+# ------------------------------------------------------------------ entry point
+def get_or_build_index(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None = None,
+    *,
+    cache_dir: str | Path | None = None,
+) -> IndexArtifact:
+    """The shared artifact for (bundle, config): memory → disk → build.
+
+    ``cache_dir`` defaults to ``config.engine.index_cache_dir``; ``None``
+    keeps artifacts in memory only.  A fresh build is written back to the
+    disk cache when one is configured.
+    """
+    config = config or WorkflowConfig()
+    if cache_dir is None:
+        cache_dir = config.engine.index_cache_dir
+    digest = compute_digest(bundle, config)
+    with _cache_lock:
+        cached = _artifacts.get(digest)
+    if cached is not None:
+        get_registry().counter("repro.index.memory_hits").inc()
+        return cached
+    artifact: IndexArtifact | None = None
+    if cache_dir is not None:
+        try:
+            artifact = load_artifact(bundle, config, cache_dir)
+        except IndexBuildError:
+            artifact = None
+    if artifact is None:
+        artifact = build_index(bundle, config)
+        if cache_dir is not None:
+            save_artifact(artifact, cache_dir)
+    with _cache_lock:
+        # Another thread may have raced the build; first writer wins so
+        # every consumer shares one object.
+        artifact = _artifacts.setdefault(digest, artifact)
+    return artifact

@@ -4,9 +4,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ModelError
 from repro.llm.tokens import count_tokens
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 _VALID_ROLES = ("system", "user", "assistant")
 
@@ -51,8 +55,15 @@ class ChatModel(ABC):
     context_window: int = 128_000
 
     @abstractmethod
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
-        """Generate a reply to the conversation."""
+    def complete(
+        self, messages: list[ChatMessage], *, ctx: "RequestContext | None" = None
+    ) -> CompletionResult:
+        """Generate a reply to the conversation.
+
+        ``ctx`` is the request-scoped context; implementations may use
+        it for deterministic per-request randomness or, in batched
+        serving, to defer latency work to the batch coordinator.
+        """
 
     def _check_messages(self, messages: list[ChatMessage]) -> int:
         """Validate the conversation; returns the prompt token count."""

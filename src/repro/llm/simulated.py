@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.corpus.facts import Fact, FactRegistry
 from repro.llm.base import ChatMessage, ChatModel, CompletionResult, TokenUsage
@@ -39,6 +40,9 @@ from repro.llm.tokens import count_tokens
 from repro.prompts.library import parse_rag_prompt
 from repro.utils.rng import stable_hash
 from repro.utils.textproc import code_tokens, is_petsc_api_identifier
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 _INTROS = (
     "In PETSc, the relevant behavior is as follows.",
@@ -97,14 +101,19 @@ class SimulatedChatModel(ChatModel):
         self.latency = LatencyEngine(iterations_per_token=persona.iterations_per_token)
 
     # ------------------------------------------------------------------ api
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
+    def complete(
+        self, messages: list[ChatMessage], *, ctx: "RequestContext | None" = None
+    ) -> CompletionResult:
         start = time.perf_counter()
         prompt_tokens = self._check_messages(messages)
         last_user = next(m for m in reversed(messages) if m.role == "user")
         parsed = parse_rag_prompt(last_user.content)
         text = self._answer(parsed.question, parsed.context, parsed.guidance)
         completion_tokens = count_tokens(text)
-        self.latency.burn(completion_tokens)
+        # Batched serving defers the burn to the coordinator's vectorized
+        # flush; answer text is identical either way.
+        collector = ctx.burn_collector if ctx is not None else None
+        self.latency.burn(completion_tokens, collector=collector)
         elapsed = time.perf_counter() - start
         return CompletionResult(
             text=text,

@@ -41,8 +41,14 @@ def _check_name(name: str) -> None:
         )
 
 
+#: One process-wide lock for instrument writes.  Increments are commutative,
+#: so serializing them is enough for batch workers to share instruments
+#: without losing updates; contention is negligible at our write rates.
+_write_lock = threading.Lock()
+
+
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.  Thread-safe."""
 
     __slots__ = ("name", "value")
 
@@ -53,7 +59,8 @@ class Counter:
     def inc(self, n: int = 1) -> None:
         if n < 0:
             raise ObservabilityError(f"counter {self.name} cannot decrease (inc {n})")
-        self.value += n
+        with _write_lock:
+            self.value += n
 
 
 class Gauge:
@@ -66,10 +73,12 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _write_lock:
+            self.value = float(value)
 
     def inc(self, delta: float = 1.0) -> None:
-        self.value += delta
+        with _write_lock:
+            self.value += delta
 
 
 class Histogram:
@@ -94,9 +103,10 @@ class Histogram:
         self.deterministic = deterministic
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.total += value
+        with _write_lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.total += value
 
     def snapshot(self) -> dict:
         full = {

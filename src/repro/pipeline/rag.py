@@ -11,13 +11,12 @@ through the shared :func:`repro.observability.stage` API.
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.config import RetrievalConfig, WorkflowConfig
-from repro.corpus.builder import CorpusBundle, chunk_corpus
-from repro.embeddings import create_embedding_model
+from repro.config import WorkflowConfig
+from repro.context import RequestContext
+from repro.corpus.builder import CorpusBundle
 from repro.errors import ConfigurationError, ReproError
 from repro.llm import ChatMessage, ChatModel, CompletionResult, create_chat_model
 from repro.observability import MetricsRegistry, Trace, Tracer, get_registry, stage
@@ -29,7 +28,10 @@ from repro.resilience.faults import FaultInjector
 from repro.resilience.policy import Deadline, RetryPolicy
 from repro.retrieval import ManualPageKeywordSearch, RetrievedDocument, VectorRetriever
 from repro.retrieval.base import Retriever, dedupe_by_id
-from repro.vectorstore import VectorStore
+
+if TYPE_CHECKING:
+    from repro.index import IndexArtifact
+    from repro.vectorstore.store import VectorStore
 
 #: Deterministic bucket layouts for count-valued histograms.
 _ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
@@ -71,8 +73,15 @@ class PipelineResult:
 
     @property
     def total_seconds(self) -> float:
-        """Derived: the two stage timings summed."""
-        return self.rag_seconds + self.llm_seconds
+        """Derived: duration of the root ``pipeline`` span.
+
+        The root covers everything the invocation did — including time
+        spent *outside* the locate/refine/llm stage spans (degradation
+        bookkeeping, breaker transitions, prompt assembly) — so it is
+        always >= ``rag_seconds + llm_seconds`` rather than silently
+        dropping the in-between work.
+        """
+        return 0.0 if self.trace is None else self.trace.root.duration
 
     @property
     def is_degraded(self) -> bool:
@@ -89,8 +98,7 @@ class RAGPipeline:
     ``priority_retrievers`` compose generically into box 1: each is
     queried with ``k=priority_k`` and its hits are prepended to the main
     retriever's (an exact manual-page match is the highest-confidence
-    material available).  The old ``keyword_search=`` parameter is a
-    deprecated shim onto the same list.
+    material available).
     """
 
     def __init__(
@@ -99,7 +107,6 @@ class RAGPipeline:
         *,
         retriever: Retriever | None = None,
         priority_retrievers: Sequence[Retriever] | None = None,
-        keyword_search: ManualPageKeywordSearch | None = None,
         reranker: Reranker | None = None,
         first_pass_k: int = 8,
         final_l: int = 4,
@@ -111,14 +118,6 @@ class RAGPipeline:
         metrics: MetricsRegistry | None = None,
     ) -> None:
         priority = list(priority_retrievers) if priority_retrievers is not None else []
-        if keyword_search is not None:
-            warnings.warn(
-                "RAGPipeline(keyword_search=...) is deprecated; pass "
-                "priority_retrievers=[keyword_search] instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            priority.append(keyword_search)
         if retriever is None and (priority or reranker is not None):
             raise ConfigurationError("priority retrievers / reranking require a retriever")
         if not 0 < final_l <= first_pass_k:
@@ -141,11 +140,6 @@ class RAGPipeline:
         self._metrics = metrics
 
     @property
-    def keyword_search(self) -> Retriever | None:
-        """Deprecated accessor: the first priority retriever, if any."""
-        return self.priority_retrievers[0] if self.priority_retrievers else None
-
-    @property
     def mode(self) -> PipelineMode:
         if self.retriever is None:
             return PipelineMode.BASELINE
@@ -155,37 +149,42 @@ class RAGPipeline:
         return self._metrics if self._metrics is not None else get_registry()
 
     # ------------------------------------------------------------------ stages
-    def _locate(self, question: str) -> list[RetrievedDocument]:
+    def _locate(self, question: str, ctx: RequestContext) -> list[RetrievedDocument]:
         """Box 1: every retriever runs in its own child span."""
         assert self.retriever is not None
-        registry = self._registry()
+        registry = self._effective_registry(ctx)
         hits: list[RetrievedDocument] = []
         # Priority hits are prepended: they outrank similarity scores.
         for r in self.priority_retrievers:
             with stage(
                 r.name, metric=f"repro.retrieval.{r.name}",
-                tracer=self.tracer, registry=registry, k=self.priority_k,
+                tracer=ctx.tracer, registry=registry, k=self.priority_k,
             ) as span:
-                found = r.retrieve(question, k=self.priority_k)
+                found = r.retrieve(question, k=self.priority_k, ctx=ctx)
                 if span is not None:
                     span.attributes["hits"] = len(found)
             hits.extend(found)
         with stage(
             self.retriever.name, metric=f"repro.retrieval.{self.retriever.name}",
-            tracer=self.tracer, registry=registry, k=self.first_pass_k,
+            tracer=ctx.tracer, registry=registry, k=self.first_pass_k,
         ) as span:
-            found = self.retriever.retrieve(question, k=self.first_pass_k)
+            found = self.retriever.retrieve(question, k=self.first_pass_k, ctx=ctx)
             if span is not None:
                 span.attributes["hits"] = len(found)
         hits.extend(found)
         cap = self.first_pass_k + self.priority_k * len(self.priority_retrievers)
         return dedupe_by_id(hits)[:cap]
 
-    def _refine(self, question: str, candidates: list[RetrievedDocument]) -> list[RetrievedDocument]:
+    def _refine(
+        self,
+        question: str,
+        candidates: list[RetrievedDocument],
+        ctx: RequestContext,
+    ) -> list[RetrievedDocument]:
         """Box 2: rerank K candidates down to L (or truncate when disabled)."""
         if self.reranker is None:
             return candidates[: self.final_l]
-        results = self.reranker.rerank(question, candidates, top_n=self.final_l)
+        results = self.reranker.rerank(question, candidates, top_n=self.final_l, ctx=ctx)
         return [
             RetrievedDocument(
                 document=r.document.document,
@@ -195,9 +194,13 @@ class RAGPipeline:
             for r in results
         ]
 
+    def _effective_registry(self, ctx: RequestContext) -> MetricsRegistry:
+        """The request's explicit registry, else the pipeline fallback."""
+        return ctx.registry if ctx.registry is not None else self._registry()
+
     # ------------------------------------------------------------------ resilience
     def _complete_resilient(
-        self, messages: list[ChatMessage], *, key: str, deadline: Deadline | None
+        self, messages: list[ChatMessage], *, key: str, ctx: RequestContext
     ) -> tuple[CompletionResult, int]:
         """The LLM call under breaker + retry policy; returns (result, attempts).
 
@@ -208,7 +211,7 @@ class RAGPipeline:
         counter = itertools.count(1)
 
         def base_call() -> CompletionResult:
-            return self.chat_model.complete(messages)
+            return self.chat_model.complete(messages, ctx=ctx)
 
         def guarded_call() -> CompletionResult:
             if self.breaker is None:
@@ -219,26 +222,26 @@ class RAGPipeline:
             finally:
                 after = self.breaker.state
                 if after is not before:
-                    self.tracer.event(
+                    ctx.tracer.event(
                         f"breaker:{after.value}", breaker=self.breaker.name
                     )
 
         def attempt_call() -> CompletionResult:
-            with self.tracer.span("attempt", index=next(counter)):
+            with ctx.tracer.span("attempt", index=next(counter)):
                 return guarded_call()
 
         if self.retry_policy is None:
             return attempt_call(), 1
         outcome = self.retry_policy.execute(
-            attempt_call, key=("llm", self.chat_model.name, key), deadline=deadline
+            attempt_call, key=("llm", self.chat_model.name, key), deadline=ctx.deadline
         )
         if outcome.attempts > 1:
-            self.tracer.event("llm:retried", attempts=outcome.attempts)
+            ctx.tracer.event("llm:retried", attempts=outcome.attempts)
         assert isinstance(outcome.value, CompletionResult)
         return outcome.value, outcome.attempts
 
     # ------------------------------------------------------------------ entry
-    def answer(self, question: str) -> PipelineResult:
+    def answer(self, question: str, *, ctx: RequestContext | None = None) -> PipelineResult:
         """Run the full pipeline with the degradation ladder, traced.
 
         Ladder (each rung trades quality for availability): reranker
@@ -247,24 +250,37 @@ class RAGPipeline:
         -> retry under the policy.  Only when every rung is exhausted
         does the error propagate.  Every rung taken is recorded both in
         ``degraded`` and as an event on the root span.
+
+        Without an explicit ``ctx``, a sequential one is created over
+        the pipeline's own tracer/metrics — the single-caller behavior.
+        Concurrent callers (the engine's worker pool) must pass their
+        own context so span trees and deadlines never interleave.
         """
-        registry = self._registry()
+        if ctx is None:
+            ctx = RequestContext.create(
+                tracer=self.tracer,
+                registry=self._metrics,
+                deadline=(
+                    Deadline(self.deadline_seconds)
+                    if self.deadline_seconds is not None
+                    else None
+                ),
+            )
+        registry = self._effective_registry(ctx)
+        tracer = ctx.tracer
         registry.counter("repro.pipeline.requests").inc()
         degraded: list[DegradationEvent] = []
         candidates: list[RetrievedDocument] = []
         contexts: list[RetrievedDocument] = []
-        deadline = (
-            Deadline(self.deadline_seconds) if self.deadline_seconds is not None else None
-        )
         located = False
         try:
-            with self.tracer.trace(
+            with tracer.trace(
                 "pipeline", mode=str(self.mode), model=self.chat_model.name
             ) as trace:
 
                 def degrade(event: DegradationEvent) -> None:
                     degraded.append(event)
-                    trace.root.add_event(str(event), at=self.tracer.clock())
+                    trace.root.add_event(str(event), at=tracer.clock())
                     registry.counter("repro.pipeline.degradations").inc()
                     registry.counter(
                         f"repro.pipeline.degradation.{event.metric_suffix}"
@@ -274,9 +290,9 @@ class RAGPipeline:
                     try:
                         with stage(
                             "locate", metric="repro.pipeline.locate",
-                            tracer=self.tracer, registry=registry,
+                            tracer=tracer, registry=registry,
                         ):
-                            candidates = self._locate(question)
+                            candidates = self._locate(question, ctx)
                         located = True
                     except ReproError:
                         degrade(DegradationEvent.RETRIEVAL_BASELINE_FALLBACK)
@@ -284,10 +300,10 @@ class RAGPipeline:
                         try:
                             with stage(
                                 "refine", metric="repro.pipeline.refine",
-                                tracer=self.tracer, registry=registry,
+                                tracer=tracer, registry=registry,
                                 reranker=self.reranker.name if self.reranker else "truncate",
                             ):
-                                contexts = self._refine(question, candidates)
+                                contexts = self._refine(question, candidates, ctx)
                         except ReproError:
                             degrade(DegradationEvent.RERANK_TRUNCATE)
                             contexts = candidates[: self.final_l]
@@ -304,10 +320,10 @@ class RAGPipeline:
                 ]
                 with stage(
                     "llm", metric="repro.pipeline.llm",
-                    tracer=self.tracer, registry=registry, model=self.chat_model.name,
+                    tracer=tracer, registry=registry, model=self.chat_model.name,
                 ):
                     completion, attempts = self._complete_resilient(
-                        messages, key=question, deadline=deadline
+                        messages, key=question, ctx=ctx
                     )
                 if completion.finish_reason == "length":
                     degrade(DegradationEvent.LLM_TRUNCATED)
@@ -342,83 +358,92 @@ class RAGPipeline:
         )
 
 
-def build_rag_pipeline(
-    bundle: CorpusBundle,
-    config: WorkflowConfig | None = None,
-    *,
-    mode: str | PipelineMode = PipelineMode.RAG_RERANK,
-    fault_injector: FaultInjector | None = None,
-) -> RAGPipeline:
-    """Construct a pipeline over the corpus in one of the three modes.
-
-    ``mode`` accepts a :class:`PipelineMode` or its wire string
-    (``"baseline"``, ``"rag"``, ``"rag+rerank"``).  ``fault_injector``
-    chaos-wraps the chat model, retriever, and reranker hops for
-    reproducible failure testing.
-    """
-    config = config or WorkflowConfig()
-    config.validate()
-    mode = PipelineMode.coerce(mode)
-    rc: RetrievalConfig = config.retrieval
+def _resilience_parts(config: WorkflowConfig):
     resil = config.resilience
     policy = RetryPolicy.from_config(resil) if resil.enabled else None
     breaker = CircuitBreaker.from_config(resil, name="llm") if resil.enabled else None
     # metrics=None routes to the process registry; a disabled config gets
     # a private sink so the shared registry stays untouched.
     metrics = None if config.observability.metrics_enabled else MetricsRegistry()
+    return policy, breaker, resil.deadline_seconds, metrics
 
-    keyword = ManualPageKeywordSearch(bundle)
+
+def _chat_model(
+    config: WorkflowConfig,
+    *,
+    registry,
+    keyword: ManualPageKeywordSearch,
+    fault_injector: FaultInjector | None,
+) -> ChatModel:
     chat: ChatModel = create_chat_model(
         config.chat_model,
-        registry=bundle.registry,
+        registry=registry,
         known_identifiers=keyword.known_identifiers(),
         iterations_per_token=config.iterations_per_token,
     )
     if fault_injector is not None:
         chat = fault_injector.wrap_model(chat)
+    return chat
+
+
+def pipeline_from_artifact(
+    artifact: "IndexArtifact",
+    config: WorkflowConfig | None = None,
+    *,
+    mode: str | PipelineMode = PipelineMode.RAG_RERANK,
+    fault_injector: FaultInjector | None = None,
+    store: "VectorStore | None" = None,
+    retriever_wrapper: "Callable[[Retriever], Retriever] | None" = None,
+) -> RAGPipeline:
+    """Assemble a pipeline over a prebuilt :class:`~repro.index.IndexArtifact`.
+
+    The expensive work (chunking, embedding, vector-store construction)
+    already happened when the artifact was built; this function only
+    wires retrievers, reranker, resilience, and the chat model around it.
+
+    ``store`` substitutes a view of the artifact's vector store — the
+    engine passes a copy-on-write fork carrying its caching query
+    embedding, so live pipelines can mutate their store without touching
+    the shared artifact.  ``retriever_wrapper`` is applied to the main
+    retriever *after* fault wrapping, which puts engine caches outside
+    the fault site (a cache hit legitimately skips an injected fault
+    only in cache-enabled, non-chaos builds; chaos engines disable the
+    caches entirely).
+    """
+    config = config or WorkflowConfig()
+    config.validate()
+    mode = PipelineMode.coerce(mode)
+    rc = config.retrieval
+    policy, breaker, deadline_seconds, metrics = _resilience_parts(config)
+
+    keyword = artifact.keyword_search()
+    chat = _chat_model(
+        config, registry=artifact.registry, keyword=keyword, fault_injector=fault_injector
+    )
     if mode is PipelineMode.BASELINE:
         return RAGPipeline(
             chat,
             retry_policy=policy,
             breaker=breaker,
-            deadline_seconds=resil.deadline_seconds,
+            deadline_seconds=deadline_seconds,
             metrics=metrics,
         )
 
-    chunks = chunk_corpus(
-        bundle,
-        include_mail=rc.include_mail_archives,
-        chunk_size=rc.chunk_size,
-        chunk_overlap=rc.chunk_overlap,
-    )
-    embedding = create_embedding_model(
-        rc.embedding_model, corpus_texts=[c.text for c in chunks]
-    )
-    store = VectorStore.from_documents(chunks, embedding)
-    retriever: Retriever = VectorRetriever(store)
+    retriever: Retriever = VectorRetriever(store if store is not None else artifact.store)
     if fault_injector is not None:
         retriever = fault_injector.wrap_retriever(retriever)
+    if retriever_wrapper is not None:
+        retriever = retriever_wrapper(retriever)
     priority = [keyword] if rc.use_keyword_search else None
 
-    if mode is PipelineMode.RAG:
-        return RAGPipeline(
-            chat,
-            retriever=retriever,
-            priority_retrievers=priority,
-            first_pass_k=rc.first_pass_k,
-            final_l=rc.final_l,
-            retry_policy=policy,
-            breaker=breaker,
-            deadline_seconds=resil.deadline_seconds,
-            metrics=metrics,
-        )
-    reranker: Reranker
-    if rc.reranker == "flashrank-lite":
-        reranker = FlashrankLiteReranker(chunks)
-    else:
-        reranker = NvidiaSimReranker(chunks)
-    if fault_injector is not None:
-        reranker = fault_injector.wrap_reranker(reranker)
+    reranker: Reranker | None = None
+    if mode is PipelineMode.RAG_RERANK:
+        if rc.reranker == "flashrank-lite":
+            reranker = FlashrankLiteReranker(artifact.chunks)
+        else:
+            reranker = NvidiaSimReranker(artifact.chunks)
+        if fault_injector is not None:
+            reranker = fault_injector.wrap_reranker(reranker)
     return RAGPipeline(
         chat,
         retriever=retriever,
@@ -428,6 +453,49 @@ def build_rag_pipeline(
         final_l=rc.final_l,
         retry_policy=policy,
         breaker=breaker,
-        deadline_seconds=resil.deadline_seconds,
+        deadline_seconds=deadline_seconds,
         metrics=metrics,
+    )
+
+
+def build_rag_pipeline(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None = None,
+    *,
+    mode: str | PipelineMode = PipelineMode.RAG_RERANK,
+    fault_injector: FaultInjector | None = None,
+) -> RAGPipeline:
+    """Construct a pipeline over the corpus in one of the three modes.
+
+    Compatibility wrapper: retrieval modes resolve the shared
+    :class:`~repro.index.IndexArtifact` through
+    :func:`repro.index.get_or_build_index` (one build per process per
+    (corpus, config) digest) and delegate to
+    :func:`pipeline_from_artifact`.  Baseline needs no index and is
+    assembled directly.  ``mode`` accepts a :class:`PipelineMode` or its
+    wire string (``"baseline"``, ``"rag"``, ``"rag+rerank"``);
+    ``fault_injector`` chaos-wraps the chat model, retriever, and
+    reranker hops for reproducible failure testing.
+    """
+    from repro.index import get_or_build_index
+
+    config = config or WorkflowConfig()
+    config.validate()
+    mode = PipelineMode.coerce(mode)
+    if mode is PipelineMode.BASELINE:
+        policy, breaker, deadline_seconds, metrics = _resilience_parts(config)
+        keyword = ManualPageKeywordSearch(bundle)
+        chat = _chat_model(
+            config, registry=bundle.registry, keyword=keyword, fault_injector=fault_injector
+        )
+        return RAGPipeline(
+            chat,
+            retry_policy=policy,
+            breaker=breaker,
+            deadline_seconds=deadline_seconds,
+            metrics=metrics,
+        )
+    artifact = get_or_build_index(bundle, config)
+    return pipeline_from_artifact(
+        artifact, config, mode=mode, fault_injector=fault_injector
     )

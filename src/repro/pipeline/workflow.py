@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import WorkflowConfig
 from repro.corpus.builder import CorpusBundle, build_default_corpus
 from repro.history import InteractionStore
 from repro.pipeline.rag import PipelineResult, RAGPipeline, build_rag_pipeline
 from repro.pipeline.types import PipelineMode
+
+if TYPE_CHECKING:
+    from repro.engine import QueryEngine
 from repro.postprocess import check_code_block, extract_code_blocks, render_html
 from repro.postprocess.codecheck import CodeCheckResult
 
@@ -43,6 +47,7 @@ class AugmentedWorkflow:
         bundle: CorpusBundle,
         pipeline: RAGPipeline,
         *,
+        engine: "QueryEngine | None" = None,
         store: InteractionStore | None = None,
         embedding_model: str = "",
         record_history: bool = True,
@@ -50,6 +55,10 @@ class AugmentedWorkflow:
     ) -> None:
         self.bundle = bundle
         self.pipeline = pipeline
+        #: When set, questions route through the engine (answer cache,
+        #: retrieval/embedding caches, shared artifact) instead of
+        #: calling the pipeline directly.
+        self.engine = engine
         self.store = store if store is not None else InteractionStore()
         self.embedding_model = embedding_model
         self.record_history = record_history
@@ -70,11 +79,18 @@ class AugmentedWorkflow:
             return 0
         docs = self.store.as_documents(min_mean_score=min_mean_score)
         added = self.pipeline.retriever.store.add_documents(docs)
+        if added and self.engine is not None:
+            # The RAG database just changed under the engine's caches;
+            # stale retrieval/answer entries would hide the new material.
+            self.engine.clear_query_caches()
         return len(added)
 
     def ask(self, question: str, *, tags: list[str] | None = None) -> WorkflowAnswer:
         """Answer a question; postprocess and (optionally) record it."""
-        result = self.pipeline.answer(question)
+        if self.engine is not None:
+            result = self.engine.answer(question, mode=self.pipeline.mode)
+        else:
+            result = self.pipeline.answer(question)
         html = render_html(result.answer)
         checks = [
             check_code_block(blk, known_identifiers=self._known)
@@ -101,14 +117,27 @@ def build_workflow(
     mode: str | PipelineMode = PipelineMode.RAG_RERANK,
     store: InteractionStore | None = None,
 ) -> AugmentedWorkflow:
-    """One-call construction of the complete workflow."""
+    """One-call construction of the complete workflow.
+
+    Non-baseline workflows are served through a :class:`QueryEngine`
+    over the shared index artifact, so a workflow, the CLI, and the bots
+    running in one process all warm-start from a single build.
+    """
+    from repro.engine import QueryEngine
+
     bundle = bundle or build_default_corpus()
     config = config or WorkflowConfig()
     mode = PipelineMode.coerce(mode)
-    pipeline = build_rag_pipeline(bundle, config, mode=mode)
+    if mode is PipelineMode.BASELINE:
+        engine = None
+        pipeline = build_rag_pipeline(bundle, config, mode=mode)
+    else:
+        engine = QueryEngine.from_corpus(bundle, config)
+        pipeline = engine.pipeline(mode)
     return AugmentedWorkflow(
         bundle,
         pipeline,
+        engine=engine,
         store=store,
         embedding_model=(
             config.retrieval.embedding_model if mode is not PipelineMode.BASELINE else ""

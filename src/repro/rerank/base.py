@@ -4,9 +4,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import RerankError
 from repro.retrieval.base import RetrievedDocument
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 
 @dataclass
@@ -38,6 +42,7 @@ class Reranker(ABC):
         *,
         top_n: int = 4,
         min_score: float | None = None,
+        ctx: "RequestContext | None" = None,
     ) -> list[RerankResult]:
         """Return the ``top_n`` candidates by rerank score, best first.
 

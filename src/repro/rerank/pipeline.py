@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import RerankError
 from repro.rerank.base import Reranker, RerankResult
 from repro.retrieval.base import RetrievedDocument, Retriever
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 
 @dataclass
@@ -26,13 +30,17 @@ class RerankingRetriever(Retriever):
         if self.first_pass_k <= 0:
             raise RerankError(f"first_pass_k must be positive, got {self.first_pass_k}")
 
-    def retrieve(self, query: str, *, k: int = 4) -> list[RetrievedDocument]:
+    def retrieve(
+        self, query: str, *, k: int = 4, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
         if k > self.first_pass_k:
             raise RerankError(
                 f"cannot keep k={k} documents from a first pass of {self.first_pass_k}"
             )
-        candidates = self.retriever.retrieve(query, k=self.first_pass_k)
-        results = self.reranker.rerank(query, candidates, top_n=k, min_score=self.min_score)
+        candidates = self.retriever.retrieve(query, k=self.first_pass_k, ctx=ctx)
+        results = self.reranker.rerank(
+            query, candidates, top_n=k, min_score=self.min_score, ctx=ctx
+        )
         return [
             RetrievedDocument(
                 document=r.document.document,
@@ -43,9 +51,11 @@ class RerankingRetriever(Retriever):
         ]
 
     def retrieve_detailed(
-        self, query: str, *, k: int = 4
+        self, query: str, *, k: int = 4, ctx: "RequestContext | None" = None
     ) -> tuple[list[RetrievedDocument], list[RerankResult]]:
         """Candidates and rerank results, for instrumentation/case studies."""
-        candidates = self.retriever.retrieve(query, k=self.first_pass_k)
-        results = self.reranker.rerank(query, candidates, top_n=k, min_score=self.min_score)
+        candidates = self.retriever.retrieve(query, k=self.first_pass_k, ctx=ctx)
+        results = self.reranker.rerank(
+            query, candidates, top_n=k, min_score=self.min_score, ctx=ctx
+        )
         return candidates, results

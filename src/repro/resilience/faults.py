@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.errors import ConfigurationError, TransientError
 from repro.llm.base import ChatMessage, ChatModel, CompletionResult
@@ -28,6 +28,9 @@ from repro.observability.metrics import get_registry
 from repro.rerank.base import Reranker, RerankResult
 from repro.retrieval.base import RetrievedDocument, Retriever
 from repro.utils.rng import rng_for
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 T = TypeVar("T")
 
@@ -160,9 +163,11 @@ class FaultyChatModel(ChatModel):
         self.name = inner.name
         self.context_window = inner.context_window
 
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
+    def complete(
+        self, messages: list[ChatMessage], *, ctx: "RequestContext | None" = None
+    ) -> CompletionResult:
         kind = self.injector._maybe_raise(self.site)
-        result = self.inner.complete(messages)
+        result = self.inner.complete(messages, ctx=ctx)
         if kind == LATENCY:
             # Accounted, not slept: the simulation books time explicitly.
             result.latency_seconds += self.injector.config.latency_spike_seconds
@@ -181,9 +186,11 @@ class FaultyRetriever(Retriever):
         self.site = site
         self.name = inner.name
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
         self.injector._maybe_raise(self.site)
-        return self.inner.retrieve(query, k=k)
+        return self.inner.retrieve(query, k=k, ctx=ctx)
 
 
 class FaultyReranker(Reranker):
@@ -205,6 +212,9 @@ class FaultyReranker(Reranker):
         *,
         top_n: int = 4,
         min_score: float | None = None,
+        ctx: "RequestContext | None" = None,
     ) -> list[RerankResult]:
         self.injector._maybe_raise(self.site)
-        return self.inner.rerank(query, candidates, top_n=top_n, min_score=min_score)
+        return self.inner.rerank(
+            query, candidates, top_n=top_n, min_score=min_score, ctx=ctx
+        )

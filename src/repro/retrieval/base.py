@@ -4,8 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.documents import Document
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 
 @dataclass
@@ -36,11 +40,19 @@ class Retriever(ABC):
     name: str = "retriever"
 
     @abstractmethod
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
-        """Top-k documents, best first."""
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
+        """Top-k documents, best first.
 
-    def __call__(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
-        return self.retrieve(query, k=k)
+        ``ctx`` is the request-scoped context; caching wrappers use it to
+        defer LRU bookkeeping until the batch commit point.
+        """
+
+    def __call__(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
+        return self.retrieve(query, k=k, ctx=ctx)
 
 
 def dedupe_by_id(hits: list[RetrievedDocument]) -> list[RetrievedDocument]:

@@ -7,6 +7,8 @@ vectorized scatter-adds rather than a Python loop over documents.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.documents import Document
@@ -14,6 +16,9 @@ from repro.errors import RetrievalError
 from repro.retrieval.base import RetrievedDocument, Retriever
 from repro.embeddings.similarity import top_k_indices
 from repro.utils.textproc import tokenize
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 
 class BM25Retriever(Retriever):
@@ -76,7 +81,9 @@ class BM25Retriever(Retriever):
             np.add.at(scores, docs, contrib)
         return scores
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
         scores = self.score(query)
         idx = top_k_indices(scores, k)
         return [

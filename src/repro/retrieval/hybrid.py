@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import RetrievalError
 from repro.retrieval.base import RetrievedDocument, Retriever, dedupe_by_id
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 
 def reciprocal_rank_fusion(
@@ -46,6 +51,8 @@ class HybridRetriever(Retriever):
         self.retrievers = list(retrievers)
         self.rrf_k = rrf_k
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
-        lists = [dedupe_by_id(r.retrieve(query, k=k)) for r in self.retrievers]
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
+        lists = [dedupe_by_id(r.retrieve(query, k=k, ctx=ctx)) for r in self.retrievers]
         return reciprocal_rank_fusion(lists, k=k, rrf_k=self.rrf_k)

@@ -9,19 +9,31 @@ matching manual pages.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Mapping
+
 from repro.corpus.builder import CorpusBundle
 from repro.documents import Document
 from repro.retrieval.base import RetrievedDocument, Retriever
 from repro.utils.textproc import code_tokens
 
+if TYPE_CHECKING:
+    from repro.context import RequestContext
+
 
 class ManualPageKeywordSearch(Retriever):
-    """Exact manual-page lookup for identifiers mentioned in the query."""
+    """Exact manual-page lookup for identifiers mentioned in the query.
+
+    Accepts either a full :class:`CorpusBundle` or a plain mapping of
+    ``page name -> Document`` (the shape an
+    :class:`~repro.index.IndexArtifact` stores), so the keyword path can
+    be rebuilt from a cached artifact without the corpus in memory.
+    """
 
     name = "keyword"
 
-    def __init__(self, bundle: CorpusBundle) -> None:
-        self._pages: dict[str, Document] = dict(bundle.manual_page_names)
+    def __init__(self, source: "CorpusBundle | Mapping[str, Document]") -> None:
+        pages = getattr(source, "manual_page_names", source)
+        self._pages: dict[str, Document] = dict(pages)
         # Option keys resolve to the page whose Options section mentions them.
         self._option_index: dict[str, Document] = {}
         for doc in self._pages.values():
@@ -39,7 +51,9 @@ class ManualPageKeywordSearch(Retriever):
             return self._option_index.get(identifier)
         return self._pages.get(identifier)
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
         hits: list[RetrievedDocument] = []
         seen: set[str] = set()
         for ident in code_tokens(query):

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.retrieval.base import RetrievedDocument, Retriever
 from repro.vectorstore import VectorStore
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 
 class VectorRetriever(Retriever):
@@ -15,7 +20,9 @@ class VectorRetriever(Retriever):
         self.store = store
         self.where = where
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
         hits = self.store.similarity_search_with_score(query, k=k, where=self.where)
         return [
             RetrievedDocument(document=doc, score=score, origin="vector")

@@ -13,11 +13,15 @@ rankings with reciprocal rank fusion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import VectorStoreError
 from repro.retrieval.base import RetrievedDocument, Retriever
 from repro.retrieval.hybrid import reciprocal_rank_fusion
 from repro.vectorstore.store import VectorStore
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
 
 
 @dataclass
@@ -92,5 +96,7 @@ class CatalogRetriever(Retriever):
         self.catalog = catalog
         self.databases = databases
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(
+        self, query: str, *, k: int = 8, ctx: "RequestContext | None" = None
+    ) -> list[RetrievedDocument]:
         return self.catalog.search(query, databases=self.databases, k=k)

@@ -169,6 +169,38 @@ class VectorStore:
             remaining.remove(best)
         return [candidates[i][0] for i in selected]
 
+    # ------------------------------------------------------------ sharing
+    def fork(self, *, embedding: EmbeddingModel | None = None) -> "VectorStore":
+        """Independent store sharing this one's vectors copy-on-write.
+
+        Document bookkeeping (list/ids/tombstones) is copied eagerly —
+        it is small — while the embedding matrix is shared through
+        :meth:`BruteForceIndex.fork` until the child first adds vectors.
+        Mutations on either side are invisible to the other, which is
+        the contract that lets one immutable index artifact back many
+        live pipelines (e.g. a workflow feeding interaction history into
+        its own store without poisoning the shared cache).
+
+        ``embedding`` substitutes a different (typically caching) model
+        for the child's query embedding; it must match the parent's
+        dimension since the shared vectors came from the parent's model.
+        """
+        if not isinstance(self.index, BruteForceIndex):
+            raise VectorStoreError("only BruteForceIndex-backed stores can be forked")
+        if embedding is not None and embedding.dim != self.embedding.dim:
+            raise VectorStoreError(
+                f"fork embedding dim {embedding.dim} != store dim {self.embedding.dim}"
+            )
+        child = VectorStore(
+            embedding if embedding is not None else self.embedding,
+            index=self.index.fork(),
+            collection_name=self.collection_name,
+        )
+        child._docs = list(self._docs)
+        child._ids = dict(self._ids)
+        child._deleted = set(self._deleted)
+        return child
+
     # ------------------------------------------------------------ persistence
     def save(self, directory: str | Path) -> Path:
         """Persist documents + vectors; format is npz + jsonl + manifest."""

@@ -29,7 +29,7 @@ class FlakyModel(ChatModel):
         self.fail_first = fail_first
         self.calls = 0
 
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
+    def complete(self, messages: list[ChatMessage], *, ctx=None) -> CompletionResult:
         self._check_messages(messages)
         self.calls += 1
         if self.calls <= self.fail_first:
@@ -40,7 +40,7 @@ class FlakyModel(ChatModel):
 
 
 class FailingRetriever(Retriever):
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(self, query: str, *, k: int = 8, ctx=None) -> list[RetrievedDocument]:
         raise TransientError("retrieval backend down")
 
 

@@ -1,0 +1,233 @@
+"""The engine layer: shared caches, batched serving, digest stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import EngineConfig, WorkflowConfig
+from repro.engine import LRUCache, QueryEngine
+from repro.errors import ConfigurationError
+from repro.index import clear_index_cache, get_or_build_index
+from repro.observability import MetricsRegistry, use_registry
+
+QUESTIONS = [
+    "What does KSPSolve do?",
+    "How do I set the KSP tolerance?",
+    "What is DMDA?",
+    "What does KSPSolve do?",  # duplicate, exercises batch dedupe
+    "How do I monitor the residual?",
+    "What is the default KSP type?",
+]
+
+
+@pytest.fixture(scope="module")
+def artifact(bundle, fast_config):
+    return get_or_build_index(bundle, fast_config)
+
+
+def fresh_engine(artifact, fast_config, **kwargs):
+    return QueryEngine(artifact, fast_config, **kwargs)
+
+
+class TestLRUCache:
+    def test_eviction_is_lru(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.touch("a")  # b is now least recent
+        c.put("c", 3)
+        assert "a" in c and "c" in c and "b" not in c
+
+    def test_capacity_zero_disables(self):
+        c = LRUCache(0)
+        c.put("a", 1)
+        assert len(c) == 0
+        assert c.peek("a") is None
+
+    def test_peek_does_not_reorder(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.peek("a")  # must NOT refresh "a"
+        c.put("c", 3)
+        assert "a" not in c
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestSequentialAnswer:
+    def test_answer_matches_pipeline_answer(self, artifact, fast_config):
+        engine = fresh_engine(artifact, fast_config, registry=MetricsRegistry())
+        direct = engine.pipeline("rag+rerank").answer(QUESTIONS[0])
+        via_engine = fresh_engine(
+            artifact, fast_config, registry=MetricsRegistry()
+        ).answer(QUESTIONS[0])
+        assert via_engine.answer == direct.answer
+        assert via_engine.mode == direct.mode
+
+    def test_answer_cache_hit_skips_llm_span(self, artifact, fast_config):
+        reg = MetricsRegistry()
+        engine = fresh_engine(artifact, fast_config, registry=reg)
+        first = engine.answer(QUESTIONS[0])
+        second = engine.answer(QUESTIONS[0])
+        assert second.answer == first.answer
+        assert first.trace.find("llm"), "miss must run the llm stage"
+        assert second.trace.find("llm") == [], "hit must not re-run the llm"
+        assert any(e.name == "cache:answer-hit" for e in second.trace.root.events)
+        assert reg.counter("repro.engine.answer_cache.hits").value == 1
+        assert reg.counter("repro.engine.answer_cache.misses").value == 1
+
+    def test_modes_are_cached_separately(self, artifact, fast_config):
+        reg = MetricsRegistry()
+        engine = fresh_engine(artifact, fast_config, registry=reg)
+        engine.answer(QUESTIONS[0], mode="rag")
+        engine.answer(QUESTIONS[0], mode="rag+rerank")
+        assert reg.counter("repro.engine.answer_cache.hits").value == 0
+
+    def test_retrieval_cache_warms_across_requests(self, artifact, fast_config):
+        reg = MetricsRegistry()
+        cfg = WorkflowConfig(
+            iterations_per_token=0, engine=EngineConfig(answer_cache_size=0)
+        )
+        engine = fresh_engine(artifact, cfg, registry=reg)
+        engine.answer(QUESTIONS[0])
+        engine.answer(QUESTIONS[0])  # answer cache off → pipeline reruns
+        assert reg.counter("repro.engine.retrieval_cache.hits").value >= 1
+
+    def test_embedding_cache_warms_when_retrieval_cache_off(self, artifact):
+        # The retrieval cache sits in front of the vector store, so
+        # embed_query only re-runs — and can only hit its cache — when
+        # retrieval itself recomputes.
+        reg = MetricsRegistry()
+        cfg = WorkflowConfig(
+            iterations_per_token=0,
+            engine=EngineConfig(answer_cache_size=0, retrieval_cache_size=0),
+        )
+        engine = fresh_engine(artifact, cfg, registry=reg)
+        engine.answer(QUESTIONS[0])
+        engine.answer(QUESTIONS[0])
+        assert reg.counter("repro.engine.embedding_cache.hits").value >= 1
+
+    def test_clear_query_caches(self, artifact, fast_config):
+        engine = fresh_engine(artifact, fast_config, registry=MetricsRegistry())
+        engine.answer(QUESTIONS[0])
+        assert any(engine.cache_sizes().values())
+        engine.clear_query_caches()
+        assert not any(engine.cache_sizes().values())
+
+
+class TestBatchDeterminism:
+    def run_batch(self, artifact, fast_config, *, workers, seed=7):
+        reg = MetricsRegistry()
+        engine = fresh_engine(artifact, fast_config, registry=reg)
+        batch = engine.answer_many(QUESTIONS, workers=workers, seed=seed)
+        view = json.dumps(reg.deterministic_view(), sort_keys=True)
+        return batch, view
+
+    def test_worker_count_invariance(self, artifact, fast_config):
+        batches = {
+            w: self.run_batch(artifact, fast_config, workers=w) for w in (1, 2, 4)
+        }
+        answers = {b.answers_digest() for b, _ in batches.values()}
+        spans = {b.span_digest() for b, _ in batches.values()}
+        metrics = {view for _, view in batches.values()}
+        assert len(answers) == 1, "answers must not depend on worker count"
+        assert len(spans) == 1, "span structure must not depend on worker count"
+        assert len(metrics) == 1, "metric digests must not depend on worker count"
+
+    def test_same_seed_same_digests(self, artifact, fast_config):
+        a, va = self.run_batch(artifact, fast_config, workers=4, seed=3)
+        b, vb = self.run_batch(artifact, fast_config, workers=4, seed=3)
+        assert a.answers_digest() == b.answers_digest()
+        assert a.span_digest() == b.span_digest()
+        assert va == vb
+
+    def test_batch_dedupes_repeats(self, artifact, fast_config):
+        reg = MetricsRegistry()
+        engine = fresh_engine(artifact, fast_config, registry=reg)
+        batch = engine.answer_many(QUESTIONS, workers=2)
+        assert reg.counter("repro.engine.batch_deduped").value == 1
+        dup = batch.items[3]
+        assert dup.cached and dup.result.answer == batch.items[0].result.answer
+
+    def test_batch_commits_answer_cache(self, artifact, fast_config):
+        reg = MetricsRegistry()
+        engine = fresh_engine(artifact, fast_config, registry=reg)
+        engine.answer_many(QUESTIONS, workers=2)
+        rerun = engine.answer_many(QUESTIONS, workers=2)
+        assert rerun.cached_count == len(QUESTIONS)
+        assert all(it.result.trace.find("llm") == [] for it in rerun.items)
+
+    def test_results_keep_input_order(self, artifact, fast_config):
+        engine = fresh_engine(artifact, fast_config, registry=MetricsRegistry())
+        batch = engine.answer_many(QUESTIONS, workers=4)
+        assert [it.question for it in batch.items] == QUESTIONS
+        assert [it.index for it in batch.items] == list(range(len(QUESTIONS)))
+
+    def test_invalid_worker_count(self, artifact, fast_config):
+        engine = fresh_engine(artifact, fast_config, registry=MetricsRegistry())
+        with pytest.raises(ConfigurationError):
+            engine.answer_many(QUESTIONS, workers=0)
+
+    def test_batch_defers_token_burn(self, artifact, bundle):
+        cfg = WorkflowConfig()  # latency simulation ON
+        engine = QueryEngine(
+            get_or_build_index(bundle, cfg), cfg, registry=MetricsRegistry()
+        )
+        batch = engine.answer_many(QUESTIONS[:2], workers=2)
+        assert batch.deferred_tokens > 0
+        assert batch.burn_seconds > 0
+
+
+class TestSharedArtifact:
+    def test_every_entry_point_shares_one_build(self, bundle, fast_config, grader):
+        """The acceptance check: workflow, chatbot, evaluation, and the
+        engine (the CLI ``ask`` path) all answer through one cached
+        artifact — ``repro.index.builds`` stays at 1."""
+        from repro.bots.system import build_support_system
+        from repro.discordsim.models import User
+        from repro.evaluation import run_experiment
+        from repro.evaluation.benchmark import krylov_benchmark
+        from repro.pipeline.workflow import build_workflow
+
+        clear_index_cache()
+        reg = MetricsRegistry()
+        try:
+            with use_registry(reg):
+                # CLI `ask` path.
+                engine = QueryEngine.from_corpus(bundle, fast_config)
+                engine.answer(QUESTIONS[0])
+                # Augmented workflow.
+                workflow = build_workflow(bundle, fast_config)
+                workflow.ask(QUESTIONS[1])
+                # Support system / chatbot.
+                system = build_support_system(bundle, fast_config)
+                system.chatbot.direct_message(User(name="visitor"), QUESTIONS[2])
+                # Evaluation.
+                run_experiment(
+                    engine.pipeline("rag"), grader, questions=krylov_benchmark()[:3]
+                )
+        finally:
+            clear_index_cache()
+        assert reg.counter("repro.index.builds").value == 1
+        assert reg.counter("repro.index.memory_hits").value >= 2
+
+    def test_workflow_feed_history_invalidates_caches(self, bundle, fast_config):
+        from repro.pipeline.workflow import build_workflow
+
+        from repro.history.records import ScoreRecord
+
+        workflow = build_workflow(bundle, fast_config)
+        assert workflow.engine is not None
+        answer = workflow.ask("What is the default KSP type?")
+        workflow.store.add_score(
+            answer.interaction_id, ScoreRecord(scorer="dev", score=4)
+        )
+        assert any(workflow.engine.cache_sizes().values())
+        added = workflow.feed_history_into_rag(min_mean_score=3.0)
+        assert added == 1
+        assert not any(workflow.engine.cache_sizes().values())

@@ -1,0 +1,145 @@
+"""The index layer: content-hashed artifacts, memory and disk caches."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import RetrievalConfig, WorkflowConfig
+from repro.errors import IndexBuildError
+from repro.index import (
+    IndexArtifact,
+    build_index,
+    clear_index_cache,
+    compute_digest,
+    get_or_build_index,
+    load_artifact,
+    save_artifact,
+)
+from repro.observability import MetricsRegistry, use_registry
+
+
+@pytest.fixture()
+def fresh_cache():
+    """Run the test against an empty in-process artifact cache, then
+    leave it empty so test order never leaks cached artifacts."""
+    clear_index_cache()
+    yield
+    clear_index_cache()
+
+
+class TestDigests:
+    def test_digest_is_deterministic(self, bundle, fast_config):
+        assert compute_digest(bundle, fast_config) == compute_digest(bundle, fast_config)
+
+    def test_digest_tracks_index_relevant_config(self, bundle, fast_config):
+        base = compute_digest(bundle, fast_config)
+        chunked = WorkflowConfig(
+            retrieval=RetrievalConfig(chunk_size=500), iterations_per_token=0
+        )
+        assert compute_digest(bundle, chunked) != base
+
+    def test_digest_ignores_serving_config(self, bundle):
+        # Serving knobs (chat model, latency, resilience) don't change
+        # what gets indexed, so they must not fragment the cache.
+        a = compute_digest(bundle, WorkflowConfig(iterations_per_token=0))
+        b = compute_digest(bundle, WorkflowConfig(chat_model="llama-3-sim"))
+        assert a == b
+
+    def test_build_stamps_matching_digest(self, bundle, fast_config, fresh_cache):
+        artifact = build_index(bundle, fast_config)
+        assert artifact.digest == compute_digest(bundle, fast_config)
+        assert len(artifact.chunks) > 0
+        assert len(artifact.store) == len(artifact.chunks)
+
+
+class TestMemoryCache:
+    def test_one_build_many_consumers(self, bundle, fast_config, fresh_cache):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            first = get_or_build_index(bundle, fast_config)
+            second = get_or_build_index(bundle, fast_config)
+            third = get_or_build_index(bundle, fast_config)
+        assert first is second is third
+        assert reg.counter("repro.index.builds").value == 1
+        assert reg.counter("repro.index.memory_hits").value == 2
+
+    def test_different_config_builds_again(self, bundle, fast_config, fresh_cache):
+        reg = MetricsRegistry()
+        other = WorkflowConfig(
+            retrieval=RetrievalConfig(chunk_size=500), iterations_per_token=0
+        )
+        with use_registry(reg):
+            a = get_or_build_index(bundle, fast_config)
+            b = get_or_build_index(bundle, other)
+        assert a is not b
+        assert a.digest != b.digest
+        assert reg.counter("repro.index.builds").value == 2
+
+
+class TestDiskCache:
+    def test_rebuild_from_disk_same_digest(self, bundle, fast_config, tmp_path, fresh_cache):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            built = get_or_build_index(bundle, fast_config, cache_dir=tmp_path)
+            clear_index_cache()  # force the next call past the memory tier
+            loaded = get_or_build_index(bundle, fast_config, cache_dir=tmp_path)
+        assert reg.counter("repro.index.builds").value == 1
+        assert reg.counter("repro.index.disk_writes").value == 1
+        assert reg.counter("repro.index.disk_hits").value == 1
+        assert loaded.digest == built.digest
+        assert len(loaded.chunks) == len(built.chunks)
+        # The restored store answers identically to the built one.
+        query = "How do I set the KSP tolerance?"
+        a = [(d.doc_id, round(s, 9)) for d, s in built.store.similarity_search_with_score(query, k=5)]
+        b = [(d.doc_id, round(s, 9)) for d, s in loaded.store.similarity_search_with_score(query, k=5)]
+        assert a == b
+
+    def test_save_load_roundtrip(self, bundle, fast_config, tmp_path, fresh_cache):
+        artifact = build_index(bundle, fast_config)
+        root = save_artifact(artifact, tmp_path)
+        manifest = json.loads((root / "artifact.json").read_text())
+        assert manifest["digest"] == artifact.digest
+        restored = load_artifact(bundle, fast_config, tmp_path)
+        assert isinstance(restored, IndexArtifact)
+        assert restored.digest == artifact.digest
+
+    def test_missing_entry_raises(self, bundle, fast_config, tmp_path):
+        with pytest.raises(IndexBuildError):
+            load_artifact(bundle, fast_config, tmp_path)
+
+    def test_corrupt_manifest_falls_back_to_build(
+        self, bundle, fast_config, tmp_path, fresh_cache
+    ):
+        artifact = build_index(bundle, fast_config)
+        root = save_artifact(artifact, tmp_path)
+        (root / "artifact.json").write_text('{"digest": "tampered"}')
+        with pytest.raises(IndexBuildError):
+            load_artifact(bundle, fast_config, tmp_path)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            rebuilt = get_or_build_index(bundle, fast_config, cache_dir=tmp_path)
+        assert rebuilt.digest == artifact.digest
+        assert reg.counter("repro.index.builds").value == 1
+        # The corrupt entry was overwritten with a valid one.
+        assert json.loads((root / "artifact.json").read_text())["digest"] == artifact.digest
+
+
+class TestArtifactImmutability:
+    def test_fork_isolates_mutations(self, bundle, fast_config, fresh_cache):
+        from repro.documents import Document
+
+        artifact = get_or_build_index(bundle, fast_config)
+        before = len(artifact.store)
+        fork = artifact.fork_store()
+        fork.add_documents([Document(text="scratch note", metadata={"source": "x"})])
+        assert len(fork) == before + 1
+        assert len(artifact.store) == before
+
+    def test_keyword_search_from_artifact(self, bundle, fast_config, fresh_cache):
+        artifact = get_or_build_index(bundle, fast_config)
+        hits = artifact.keyword_search().retrieve("What does KSPSolve do?", k=2)
+        assert any(
+            h.document.metadata.get("source") == "manualpages/KSPSolve.md" for h in hits
+        )

@@ -51,7 +51,7 @@ class _Dummy(ChatModel):
     name = "dummy"
     context_window = 50
 
-    def complete(self, messages):
+    def complete(self, messages, *, ctx=None):
         self._check_messages(messages)
         return CompletionResult(text="ok", model=self.name)
 

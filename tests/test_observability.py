@@ -43,7 +43,7 @@ from repro.retrieval.base import RetrievedDocument, Retriever
 class OkModel(ChatModel):
     name = "ok"
 
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
+    def complete(self, messages: list[ChatMessage], *, ctx=None) -> CompletionResult:
         self._check_messages(messages)
         return CompletionResult(text="the answer", model=self.name, usage=TokenUsage(3, 2))
 
@@ -55,7 +55,7 @@ class FlakyModel(ChatModel):
         self.fail_first = fail_first
         self.calls = 0
 
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
+    def complete(self, messages: list[ChatMessage], *, ctx=None) -> CompletionResult:
         self._check_messages(messages)
         self.calls += 1
         if self.calls <= self.fail_first:
@@ -66,7 +66,7 @@ class FlakyModel(ChatModel):
 class TruncatingModel(ChatModel):
     name = "truncating"
 
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
+    def complete(self, messages: list[ChatMessage], *, ctx=None) -> CompletionResult:
         self._check_messages(messages)
         return CompletionResult(
             text="cut sh", model=self.name, usage=TokenUsage(3, 1), finish_reason="length"
@@ -76,7 +76,7 @@ class TruncatingModel(ChatModel):
 class FailingRetriever(Retriever):
     name = "failing"
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(self, query: str, *, k: int = 8, ctx=None) -> list[RetrievedDocument]:
         raise TransientError("retrieval backend down")
 
 
@@ -391,7 +391,10 @@ class TestPipelineTracing:
         expected_rag = trace.stage_seconds("locate") + trace.stage_seconds("refine")
         assert result.rag_seconds == expected_rag
         assert result.llm_seconds == trace.stage_seconds("llm")
-        assert result.total_seconds == pytest.approx(result.rag_seconds + result.llm_seconds)
+        # total is the root span's duration: at least the stage sum,
+        # plus whatever ran between the stages.
+        assert result.total_seconds == trace.root.duration
+        assert result.total_seconds >= result.rag_seconds + result.llm_seconds
         assert result.rag_seconds > 0 and result.llm_seconds > 0
 
     def test_baseline_has_no_rag_spans(self):
@@ -529,13 +532,20 @@ class TestDegradationLadderTracing:
 class _EchoRetriever(Retriever):
     name = "echo"
 
-    def retrieve(self, query: str, *, k: int = 8) -> list[RetrievedDocument]:
+    def retrieve(self, query: str, *, k: int = 8, ctx=None) -> list[RetrievedDocument]:
         return []
 
 
 # ---------------------------------------------------------------- determinism
 class TestEndToEndDeterminism:
     def test_same_seed_same_digests(self, bundle, fast_config):
+        from repro.index import get_or_build_index
+
+        # Resolve the shared artifact before scoping a registry: whether
+        # a call builds or hits the cache depends on process history, so
+        # those counters must stay out of the compared registries.
+        get_or_build_index(bundle, fast_config)
+
         def run(seed: int) -> tuple[str, list[str]]:
             injector = FaultInjector(seed, FaultConfig(transient_rate=0.3))
             reg = MetricsRegistry()
@@ -555,26 +565,27 @@ class TestEndToEndDeterminism:
 
 
 # ---------------------------------------------------------------- deprecation
-class TestDeprecatedKeywordShim:
-    def test_keyword_search_kwarg_warns_and_maps(self, store, keyword_search):
-        with pytest.warns(DeprecationWarning, match="priority_retrievers"):
-            pipeline = RAGPipeline(
+class TestRemovedKeywordShim:
+    def test_keyword_search_kwarg_rejected(self, store, keyword_search):
+        # The deprecation window is over: the old kwarg fails cleanly
+        # instead of warning and mapping to priority_retrievers.
+        with pytest.raises(TypeError, match="keyword_search"):
+            RAGPipeline(
                 OkModel(),
                 retriever=VectorRetriever(store),
                 keyword_search=keyword_search,
                 metrics=MetricsRegistry(),
             )
-        assert pipeline.priority_retrievers == [keyword_search]
-        assert pipeline.keyword_search is keyword_search
 
     def test_new_shape_does_not_warn(self, store, keyword_search):
         import warnings as w
 
         with w.catch_warnings():
             w.simplefilter("error", DeprecationWarning)
-            RAGPipeline(
+            pipeline = RAGPipeline(
                 OkModel(),
                 retriever=VectorRetriever(store),
                 priority_retrievers=[keyword_search],
                 metrics=MetricsRegistry(),
             )
+        assert pipeline.priority_retrievers == [keyword_search]

@@ -65,7 +65,10 @@ class TestModes:
         res = rerank_pipeline.answer("How do I set tolerances?")
         assert res.rag_seconds > 0
         assert res.llm_seconds > 0
-        assert res.total_seconds == pytest.approx(res.rag_seconds + res.llm_seconds)
+        # total derives from the root pipeline span, which also covers
+        # work between the stage spans — never less than their sum.
+        assert res.total_seconds >= res.rag_seconds + res.llm_seconds
+        assert res.total_seconds == res.trace.root.duration
 
     def test_prompt_contains_contexts(self, rag_pipeline):
         res = rag_pipeline.answer("How do I monitor the residual?")
@@ -81,8 +84,12 @@ class TestInvalidConstruction:
         from repro.pipeline.rag import RAGPipeline
 
         chat = create_chat_model("gpt-4o-sim", registry=bundle.registry, iterations_per_token=0)
-        with pytest.raises(ConfigurationError):
+        # The deprecated keyword_search= shim is gone; the constructor
+        # rejects the kwarg outright instead of warning and mapping it.
+        with pytest.raises(TypeError):
             RAGPipeline(chat, keyword_search=keyword_search)
+        with pytest.raises(ConfigurationError):
+            RAGPipeline(chat, priority_retrievers=[keyword_search])
 
     def test_bad_l(self, bundle, fast_config):
         from repro.llm import create_chat_model

@@ -310,7 +310,7 @@ class TestCircuitBreaker:
 class _EchoModel(ChatModel):
     name = "echo"
 
-    def complete(self, messages: list[ChatMessage]) -> CompletionResult:
+    def complete(self, messages: list[ChatMessage], *, ctx=None) -> CompletionResult:
         self._check_messages(messages)
         return CompletionResult(
             text=messages[-1].content, model=self.name, usage=TokenUsage(1, 1)
