@@ -31,7 +31,14 @@ facilitate various use cases."  This module is that CLI:
 ``python -m repro batch QUESTIONS.txt``
     Answer a file of questions (one per line, or a JSON array) through
     the batched query engine and print per-question outcomes plus
-    aggregate cache-hit and throughput statistics.
+    aggregate cache-hit and throughput statistics.  With ``--rate`` the
+    admission ladder (admit → queue → shed) protects the engine and the
+    output reports admitted/queued/shed counts.
+
+``python -m repro recover JOURNAL``
+    Recover a crash-safe journal (history store or dead-letter queue),
+    keeping the longest intact record prefix and truncating any torn
+    tail left by a crash mid-append.
 
 All question-answering commands serve through a shared
 :class:`~repro.engine.QueryEngine` over one cached index artifact, so a
@@ -48,8 +55,9 @@ from typing import Sequence
 
 from pathlib import Path
 
-from repro.config import RetrievalConfig, WorkflowConfig
+from repro.config import AdmissionConfig, RetrievalConfig, WorkflowConfig
 from repro.corpus import CorpusBuilder, build_default_corpus
+from repro.durability import recover_journal, scan_journal
 from repro.engine import QueryEngine
 from repro.errors import ReproError
 from repro.embeddings import EMBEDDING_MODEL_NAMES
@@ -60,7 +68,9 @@ from repro.evaluation import (
     render_score_histogram,
     run_chaos_experiment,
     run_experiment,
+    run_robustness_sweep,
 )
+from repro.history import InteractionStore
 from repro.evaluation.casestudies import CASE_STUDY_1_QID, CASE_STUDY_2_QID, run_case_study
 from repro.evaluation.benchmark import krylov_benchmark
 from repro.index import get_or_build_index
@@ -124,6 +134,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--truncate-rate", type=float, default=0.0,
         help="per-call probability of a truncated LLM reply",
     )
+    chaos.add_argument(
+        "--overload-factor", type=int, default=0,
+        help="also run the robustness sweep: an overload burst at this "
+             "multiple of admitted capacity plus a torn-write crash recovery "
+             "(0 = classic chaos only)",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="run a workload and print the metrics registry"
@@ -151,6 +167,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--seed", type=int, default=0, help="per-request RNG seed")
     batch.add_argument("--show-answers", action="store_true")
+    batch.add_argument(
+        "--rate", type=float, default=None,
+        help="enable admission control at this many requests/second",
+    )
+    batch.add_argument(
+        "--burst", type=int, default=None,
+        help="token-bucket burst size (default: ceil of --rate)",
+    )
+    batch.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded queue depth before requests shed",
+    )
+    batch.add_argument(
+        "--queue-timeout", type=float, default=4.0,
+        help="max simulated seconds a request may wait queued",
+    )
+    batch.add_argument(
+        "--arrival-interval", type=float, default=0.0,
+        help="simulated seconds between request arrivals (0 = one burst)",
+    )
+
+    recover = sub.add_parser(
+        "recover", help="recover a crash-safe journal, dropping any torn tail"
+    )
+    recover.add_argument("path", help="journal file to recover")
+    recover.add_argument(
+        "--kind", default="auto", choices=("auto", "history", "dead-letters", "raw"),
+        help="journal flavor (auto sniffs the first record)",
+    )
+    recover.add_argument(
+        "--dry-run", action="store_true",
+        help="report what recovery would keep without truncating the file",
+    )
 
     return parser
 
@@ -245,10 +294,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         latency_spike_rate=args.latency_rate,
         truncation_rate=args.truncate_rate,
     )
+    title = f"chaos sweep — {args.mode} ({args.model})"
+    if args.overload_factor > 0:
+        sweep = run_robustness_sweep(
+            bundle, _config(args), seed=args.seed, fault_config=fault_config,
+            mode=args.mode, overload_factor=args.overload_factor,
+        )
+        print(sweep.render(title=title))
+        return 0
     run = run_chaos_experiment(
         bundle, _config(args), seed=args.seed, fault_config=fault_config, mode=args.mode
     )
-    print(run.render(title=f"chaos sweep — {args.mode} ({args.model})"))
+    print(run.render(title=title))
     return 0
 
 
@@ -332,9 +389,21 @@ def _read_questions(path: str) -> list[str]:
 def cmd_batch(args: argparse.Namespace) -> int:
     questions = _read_questions(args.path)
     registry = MetricsRegistry()
-    engine = QueryEngine.from_corpus(config=_config(args), registry=registry)
+    config = _config(args)
+    arrivals = None
+    if args.rate is not None:
+        config.admission = AdmissionConfig(
+            enabled=True,
+            requests_per_second=args.rate,
+            burst=args.burst if args.burst is not None else max(1, int(args.rate)),
+            queue_depth=args.queue_depth,
+            queue_timeout_seconds=args.queue_timeout,
+        )
+        arrivals = [i * args.arrival_interval for i in range(len(questions))]
+    engine = QueryEngine.from_corpus(config=config, registry=registry)
     batch = engine.answer_many(
-        questions, mode=args.mode, workers=args.workers, seed=args.seed
+        questions, mode=args.mode, workers=args.workers, seed=args.seed,
+        arrivals=arrivals,
     )
     print(batch.render(show_answers=args.show_answers))
     print("cache stats:")
@@ -344,7 +413,49 @@ def cmd_batch(args: argparse.Namespace) -> int:
         total = hits + misses
         rate = f"{hits / total:.1%}" if total else "n/a"
         print(f"  {cache:<18}{hits:>6} hits / {misses:>6} misses  ({rate})")
-    return 0 if batch.answered_count == len(batch.items) else 1
+    # Sheds are the admission layer doing its job, not a failure; the
+    # exit code reflects only requests that reached the engine.
+    return 0 if batch.answered_count == batch.admitted_count else 1
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.is_file():
+        raise ReproError(f"no journal at {path}")
+    kind = args.kind
+    if kind == "auto":
+        first = scan_journal(path).records[:1]
+        if first and "interaction_id" in first[0]:
+            kind = "history"
+        elif first and "op" in first[0]:
+            kind = "dead-letters"
+        else:
+            kind = "raw"
+    truncate = not args.dry_run
+    if kind == "history":
+        store, report = InteractionStore.recover(path, truncate=truncate)
+        print(f"history journal: {len(store)} interactions recovered")
+    elif kind == "dead-letters":
+        report = recover_journal(path, truncate=truncate)
+        depth = 0
+        for record in report.records:
+            op = record.get("op")
+            if op == "push":
+                depth += 1
+            elif op in ("pop", "drop") and depth:
+                depth -= 1
+        print(f"dead-letter journal: {report.intact_count} ops recovered, "
+              f"queue depth {depth}")
+    else:
+        report = recover_journal(path, truncate=truncate)
+        print(f"journal: {report.intact_count} records recovered")
+    if report.truncated:
+        action = "would drop" if args.dry_run else "dropped"
+        print(f"torn tail: {action} {report.dropped_bytes} bytes ({report.reason})")
+    else:
+        print("journal clean: nothing to drop")
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    return 0
 
 
 _COMMANDS = {
@@ -356,6 +467,7 @@ _COMMANDS = {
     "casestudy": cmd_casestudy,
     "chaos": cmd_chaos,
     "metrics": cmd_metrics,
+    "recover": cmd_recover,
 }
 
 

@@ -113,6 +113,105 @@ class ObservabilityConfig:
 
 
 @dataclass
+class AdmissionConfig:
+    """Overload protection for the serving stack: admit → queue → shed.
+
+    Admission walks a ladder per request: a deterministic token bucket
+    (per-client quotas) admits what capacity allows; requests that would
+    only wait a bounded time join a bounded queue; everything else is
+    shed immediately with a typed
+    :class:`~repro.errors.OverloadedError` carrying ``retry_after``.
+    An AIMD controller narrows the batch worker pool when deadline
+    misses or breaker trips rise and re-widens it on sustained success.
+    All decisions are pure functions of the (simulated) arrival times,
+    so same-seed runs shed byte-identically.
+    """
+
+    enabled: bool = False
+    #: Token-bucket refill rate per client, in requests per second.
+    requests_per_second: float = 16.0
+    #: Bucket capacity: the instantaneous burst a client may spend.
+    burst: int = 32
+    #: Requests allowed to wait for a future token before shedding starts.
+    queue_depth: int = 64
+    #: Longest simulated wait a queued request may face; beyond it, shed.
+    queue_timeout_seconds: float = 4.0
+    #: Per-client refill-rate overrides (client id → requests/second).
+    per_client_rates: dict[str, float] = field(default_factory=dict)
+    #: AIMD concurrency bounds for the batch worker pool.
+    min_concurrency: int = 1
+    max_concurrency: int = 16
+    #: Additive step added to the limit after ``aimd_window`` successes.
+    aimd_increase: float = 1.0
+    #: Multiplicative factor applied to the limit on an overload signal.
+    aimd_decrease: float = 0.5
+    aimd_window: int = 8
+
+    def validate(self) -> None:
+        if self.requests_per_second <= 0:
+            raise ConfigurationError(
+                f"requests_per_second must be positive, got {self.requests_per_second}"
+            )
+        if self.burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+        if self.queue_depth < 0:
+            raise ConfigurationError(f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.queue_timeout_seconds < 0:
+            raise ConfigurationError(
+                f"queue_timeout_seconds must be >= 0, got {self.queue_timeout_seconds}"
+            )
+        for client, rate in self.per_client_rates.items():
+            if rate <= 0:
+                raise ConfigurationError(
+                    f"per-client rate for {client!r} must be positive, got {rate}"
+                )
+        if not 1 <= self.min_concurrency <= self.max_concurrency:
+            raise ConfigurationError(
+                f"need 1 <= min_concurrency <= max_concurrency, got "
+                f"{self.min_concurrency}..{self.max_concurrency}"
+            )
+        if self.aimd_increase <= 0:
+            raise ConfigurationError(
+                f"aimd_increase must be positive, got {self.aimd_increase}"
+            )
+        if not 0.0 < self.aimd_decrease < 1.0:
+            raise ConfigurationError(
+                f"aimd_decrease must be in (0, 1), got {self.aimd_decrease}"
+            )
+        if self.aimd_window < 1:
+            raise ConfigurationError(f"aimd_window must be >= 1, got {self.aimd_window}")
+
+
+@dataclass
+class DurabilityConfig:
+    """Crash-safety knobs for every durable surface.
+
+    All persistence goes through :mod:`repro.durability`: snapshots via
+    ``atomic_write`` (temp file + fsync + rename) and incremental state
+    via the CRC-checksummed append-only journal.  These flags tune cost
+    vs. strictness; the atomicity itself is not optional.
+    """
+
+    #: fsync temp files and journal appends before acknowledging them.
+    #: Turning this off trades power-loss safety for speed (tests, CI).
+    fsync: bool = True
+    #: Verify the index disk cache's payload checksums before serving it.
+    verify_index_checksums: bool = True
+    #: When set, the workflow's interaction store journals every record here.
+    history_journal: str | None = None
+    #: When set, the poller journals dead-letter queue mutations here.
+    dead_letter_journal: str | None = None
+
+    def validate(self) -> None:
+        for label, path in (
+            ("history_journal", self.history_journal),
+            ("dead_letter_journal", self.dead_letter_journal),
+        ):
+            if path is not None and not str(path).strip():
+                raise ConfigurationError(f"{label} must be a non-empty path or None")
+
+
+@dataclass
 class EngineConfig:
     """Query-engine parameters: caches, batch scheduling, burn kernel."""
 
@@ -152,6 +251,8 @@ class WorkflowConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     #: Latency-burn override for the simulated model; None keeps the
     #: persona default, 0 disables the burn (unit tests).
     iterations_per_token: int | None = None
@@ -162,3 +263,5 @@ class WorkflowConfig:
         self.resilience.validate()
         self.observability.validate()
         self.engine.validate()
+        self.admission.validate()
+        self.durability.validate()

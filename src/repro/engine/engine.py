@@ -30,6 +30,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.admission import ADMIT, QUEUE, SHED, AdmissionController, AdmissionDecision
 from repro.config import WorkflowConfig
 from repro.context import RequestContext
 from repro.corpus.builder import CorpusBundle, build_default_corpus
@@ -44,6 +45,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.index import IndexArtifact, get_or_build_index
 from repro.llm.latency import TokenBurnCollector
 from repro.observability import MetricsRegistry, Tracer, get_registry
+from repro.observability.trace import Trace
 from repro.pipeline.rag import PipelineResult, RAGPipeline, pipeline_from_artifact
 from repro.pipeline.types import PipelineMode
 from repro.resilience.faults import FaultInjector
@@ -91,10 +93,24 @@ class BatchItem:
     result: PipelineResult | None
     cached: bool = False
     error: str = ""
+    #: The admission layer rejected this request before any work ran.
+    shed: bool = False
+    #: Suggested client backoff in seconds (shed items only).
+    retry_after: float = 0.0
+    #: Span tree for items without a pipeline result (shed items get a
+    #: one-span admission trace so the rejection is observable).
+    trace: Trace | None = None
 
     @property
     def answered(self) -> bool:
         return self.result is not None
+
+    def trace_or_result_trace(self) -> Trace | None:
+        """The item-level trace wins: it is per-item even when the
+        pipeline result (and its trace) is shared with a dedupe primary."""
+        if self.trace is not None:
+            return self.trace
+        return self.result.trace if self.result is not None else None
 
 
 @dataclass
@@ -105,6 +121,8 @@ class BatchResult:
     workers: int
     seed: int
     items: list[BatchItem] = field(default_factory=list)
+    #: The admission ladder's decision vector; None when admission is off.
+    decisions: list[AdmissionDecision] | None = None
     batch_seconds: float = 0.0
     #: Wall seconds the coordinator spent in the vectorized burn flush.
     burn_seconds: float = 0.0
@@ -125,6 +143,23 @@ class BatchResult:
         return sum(1 for it in self.items if it.cached)
 
     @property
+    def shed_count(self) -> int:
+        return sum(1 for it in self.items if it.shed)
+
+    @property
+    def queued_count(self) -> int:
+        if self.decisions is None:
+            return 0
+        return sum(1 for d in self.decisions if d.outcome == QUEUE)
+
+    @property
+    def admitted_count(self) -> int:
+        """Requests that reached the engine (straight admits + queued)."""
+        if self.decisions is None:
+            return len(self.items)
+        return sum(1 for d in self.decisions if d.outcome in (ADMIT, QUEUE))
+
+    @property
     def questions_per_second(self) -> float:
         return len(self.items) / self.batch_seconds if self.batch_seconds > 0 else 0.0
 
@@ -141,6 +176,8 @@ class BatchResult:
                     [str(e) for e in it.result.degraded] if it.result is not None else [],
                     it.cached,
                     it.error,
+                    it.shed,
+                    round(it.retry_after, 6),
                 ]
                 for it in self.items
             ],
@@ -150,19 +187,19 @@ class BatchResult:
 
     def span_digest(self) -> str:
         """SHA-256 over per-request span-structure digests, input order."""
-        digests = [
-            it.result.trace.structure_digest()
-            if it.result is not None and it.result.trace is not None
-            else ""
-            for it in self.items
-        ]
+        digests = []
+        for it in self.items:
+            trace = it.trace_or_result_trace()
+            digests.append(trace.structure_digest() if trace is not None else "")
         return hashlib.sha256(json.dumps(digests).encode()).hexdigest()
 
     # ------------------------------------------------------------ rendering
     def render(self, *, show_answers: bool = False) -> str:
         lines: list[str] = []
         for it in self.items:
-            if it.result is None:
+            if it.shed:
+                status = f"SHED    retry_after={it.retry_after:.3f}s"
+            elif it.result is None:
                 status = f"FAILED  {it.error}"
             else:
                 flags = []
@@ -185,6 +222,12 @@ class BatchResult:
             f"deferred llm tokens: {self.deferred_tokens} "
             f"(vectorized flush {1000 * self.burn_seconds:.1f} ms)"
         )
+        if self.decisions is not None:
+            admitted = sum(1 for d in self.decisions if d.outcome == ADMIT)
+            lines.append(
+                f"admission: {admitted} admitted, {self.queued_count} queued, "
+                f"{self.shed_count} shed (of {len(self.decisions)})"
+            )
         lines.append(f"answers digest: {self.answers_digest()}")
         lines.append(f"span digest:    {self.span_digest()}")
         return "\n".join(lines)
@@ -202,11 +245,20 @@ class QueryEngine:
         *,
         fault_injector: FaultInjector | None = None,
         registry: MetricsRegistry | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.artifact = artifact
         self.config = config or WorkflowConfig()
         self.config.validate()
         self.fault_injector = fault_injector
+        #: Overload protection; built from config unless injected (tests
+        #: inject one with a fake clock).  ``None`` means wide open.
+        if admission is not None:
+            self.admission: AdmissionController | None = admission
+        elif self.config.admission.enabled:
+            self.admission = AdmissionController(self.config.admission)
+        else:
+            self.admission = None
         #: Explicit metrics sink; ``None`` resolves the ambient scope at
         #: the *coordinator*, never inside worker threads (a worker's
         #: thread-local scope would not see the caller's ``use_registry``).
@@ -331,6 +383,9 @@ class QueryEngine:
             else (self.registry if self.registry is not None else get_registry())
         )
         registry.counter("repro.engine.requests").inc()
+        if self.admission is not None:
+            # Sheds raise OverloadedError (retry_safe) before any work.
+            self.admission.admit_one(registry=registry)
         key = self._answer_key(question, mode)
         if self._cache_answers():
             hit = self._answer_lru.peek(key)
@@ -360,6 +415,29 @@ class QueryEngine:
         return result
 
     # ------------------------------------------------------------ batched
+    def _shed_item(self, index: int, question: str, decision: AdmissionDecision) -> BatchItem:
+        """A rejected request's record: no work ran, but the rejection is
+        traced so shed requests show up in span digests like any other."""
+        tracer = Tracer()
+        with tracer.trace("admission", outcome=SHED) as trace:
+            tracer.event(
+                "admission:shed",
+                client=decision.client,
+                retry_after=round(decision.retry_after, 6),
+            )
+        return BatchItem(
+            index=index,
+            question=question,
+            result=None,
+            error=(
+                f"OverloadedError: shed by admission "
+                f"(retry after {decision.retry_after:.3f}s)"
+            ),
+            shed=True,
+            retry_after=decision.retry_after,
+            trace=trace,
+        )
+
     def answer_many(
         self,
         questions: list[str],
@@ -367,6 +445,8 @@ class QueryEngine:
         mode: str | PipelineMode | None = None,
         workers: int | None = None,
         seed: int = 0,
+        arrivals: list[float] | None = None,
+        client_ids: list[str] | None = None,
     ) -> BatchResult:
         """Answer a batch deterministically over a bounded worker pool.
 
@@ -381,26 +461,58 @@ class QueryEngine:
 
         Per-question pipeline failures are recorded on their
         :class:`BatchItem` — a batch never aborts mid-flight.
+
+        When admission is enabled, phase (0) walks the admission ladder
+        over ``arrivals`` (simulated offsets, default all 0.0 — one
+        burst) and ``client_ids`` first: shed requests get a
+        :class:`BatchItem` with ``shed=True`` and never reach the
+        scheduler; queued requests run with an ``admission:queued`` span
+        event; the worker pool is clamped to the AIMD limit.
         """
         mode = PipelineMode.coerce(mode) if mode is not None else self.default_mode
         workers = workers if workers is not None else self.config.engine.batch_workers
         if workers <= 0:
             raise ConfigurationError(f"workers must be positive, got {workers}")
+        n = len(questions)
+        if arrivals is not None and len(arrivals) != n:
+            raise ConfigurationError(
+                f"arrivals has {len(arrivals)} entries for {n} questions"
+            )
+        if client_ids is not None and len(client_ids) != n:
+            raise ConfigurationError(
+                f"client_ids has {len(client_ids)} entries for {n} questions"
+            )
         registry = self.registry if self.registry is not None else get_registry()
         registry.counter("repro.engine.batches").inc()
         registry.counter("repro.engine.batch_requests").inc(len(questions))
+
+        decisions: list[AdmissionDecision] | None = None
+        if self.admission is not None:
+            decisions = self.admission.admit_batch(
+                [0.0] * n if arrivals is None else [float(t) for t in arrivals],
+                ["default"] * n if client_ids is None else list(client_ids),
+                registry=registry,
+            )
+            workers = max(1, min(workers, self.admission.concurrency_limit))
+            registry.gauge("repro.admission.concurrency_limit").set(
+                float(self.admission.concurrency_limit)
+            )
         pipeline = self.pipeline(mode)  # built on the coordinator, shared
         collector = TokenBurnCollector()
         use_cache = self._cache_answers()
         started = time.perf_counter()
 
-        n = len(questions)
         items: list[BatchItem | None] = [None] * n
         jobs: list[tuple[int, str, tuple]] = []  # (input index, question, key)
         primary_of: dict[tuple, int] = {}
         duplicates: list[tuple[int, int]] = []  # (input index, primary index)
         hit_keys: dict[int, tuple] = {}
         for i, question in enumerate(questions):
+            if decisions is not None and decisions[i].outcome == SHED:
+                # Shed before the caches: a rejected request consumes
+                # nothing — no token, no dedupe slot, no LRU touch.
+                items[i] = self._shed_item(i, question, decisions[i])
+                continue
             key = self._answer_key(question, mode)
             if use_cache:
                 payload = self._answer_lru.peek(key)
@@ -501,11 +613,41 @@ class QueryEngine:
         registry.counter("repro.engine.batch_answers").inc(
             sum(1 for it in final_items if it.answered)
         )
+
+        if decisions is not None:
+            assert self.admission is not None
+            for d in decisions:
+                it = final_items[d.index]
+                if d.outcome == QUEUE:
+                    base = it.result.trace if it.result is not None else None
+                    if base is not None and base.root.end is not None:
+                        # Annotate a copy: dedupe duplicates share the
+                        # result trace with their primary, which must not
+                        # inherit this item's queueing.  at=end keeps the
+                        # closed root span well-formed.
+                        queued = Trace.from_dict(base.to_dict())
+                        queued.root.add_event(
+                            "admission:queued",
+                            at=queued.root.end,
+                            queue_wait=round(d.queue_wait, 6),
+                        )
+                        it.trace = queued
+                # AIMD feedback in input order, so the limit two batches
+                # from now is as reproducible as this batch's answers.
+                if d.outcome in (ADMIT, QUEUE):
+                    self.admission.observe_outcome(
+                        it.answered, it.error, registry=registry
+                    )
+            registry.gauge("repro.admission.concurrency_limit").set(
+                float(self.admission.concurrency_limit)
+            )
+
         return BatchResult(
             mode=mode,
             workers=workers,
             seed=seed,
             items=final_items,
+            decisions=decisions,
             batch_seconds=elapsed,
             burn_seconds=burn_seconds,
             deferred_tokens=deferred_tokens,

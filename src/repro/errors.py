@@ -39,6 +39,33 @@ class TransientError(ReproError):
     retry_safe = True
 
 
+class OverloadedError(ReproError):
+    """The admission layer shed a request: the serving stack is at capacity.
+
+    Retry-safe in the transient sense — the same request may succeed once
+    load subsides — but callers should honour :attr:`retry_after` (seconds)
+    rather than re-attempting immediately, which would only deepen the
+    overload the shed is protecting against.
+    """
+
+    retry_safe = True
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        #: Suggested backoff in seconds before the caller retries.
+        self.retry_after = retry_after
+
+
+class SimulatedCrashError(ReproError):
+    """A durability fault injector simulated abrupt process death mid-write.
+
+    Raised by crash-point and torn-write injectors after they have left
+    the on-disk state exactly as a real crash would (partial frame, stale
+    temp file).  Never retry-safe: the "process" is dead; recovery happens
+    on the next start via :func:`repro.durability.recover_journal`.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """A retry/deadline budget ran out before the operation succeeded.
 

@@ -8,7 +8,15 @@ measurements of Table II and the two case studies (Figs. 7–8).
 
 from repro.evaluation.rubric import RUBRIC, Score, rubric_label
 from repro.evaluation.benchmark import BenchmarkQuestion, krylov_benchmark
-from repro.evaluation.chaos import ChaosOutcome, ChaosRun, run_chaos_experiment
+from repro.evaluation.chaos import (
+    ChaosOutcome,
+    ChaosRun,
+    OverloadOutcome,
+    RecoveryOutcome,
+    RobustnessRun,
+    run_chaos_experiment,
+    run_robustness_sweep,
+)
 from repro.evaluation.grader import BlindGrader, GradedAnswer
 from repro.evaluation.experiments import (
     ExperimentRun,
@@ -30,7 +38,11 @@ __all__ = [
     "krylov_benchmark",
     "ChaosOutcome",
     "ChaosRun",
+    "OverloadOutcome",
+    "RecoveryOutcome",
+    "RobustnessRun",
     "run_chaos_experiment",
+    "run_robustness_sweep",
     "BlindGrader",
     "GradedAnswer",
     "ExperimentRun",

@@ -13,14 +13,19 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
-from repro.config import WorkflowConfig
+from repro.config import AdmissionConfig, WorkflowConfig
 from repro.corpus.builder import CorpusBundle
+from repro.durability.journal import Journal, encode_json_record, recover_journal
 from repro.engine import QueryEngine
-from repro.errors import EvaluationError, ReproError
+from repro.errors import EvaluationError, ReproError, SimulatedCrashError
 from repro.evaluation.benchmark import BenchmarkQuestion, krylov_benchmark
-from repro.resilience import FaultConfig, FaultInjector
+from repro.observability import MetricsRegistry, use_registry
+from repro.resilience import FaultConfig, FaultInjector, TornWriteInjector
+from repro.utils.rng import rng_for
 
 
 @dataclass
@@ -155,3 +160,201 @@ def run_chaos_experiment(
     run.schedule_digest = injector.schedule_digest()
     run.fault_counts = injector.fault_counts()
     return run
+
+
+# ---------------------------------------------------------------------------
+# Robustness sweep: faults + overload + crash recovery in one run
+# ---------------------------------------------------------------------------
+@dataclass
+class OverloadOutcome:
+    """The admission ladder's behaviour under a synthetic burst."""
+
+    factor: int
+    total: int
+    admitted: int = 0
+    queued: int = 0
+    shed: int = 0
+    answered: int = 0
+    #: Every shed item carried a positive retry_after hint.
+    retry_after_ok: bool = True
+    answers_digest: str = ""
+    metrics_digest: str = ""
+    error: str = ""
+
+
+@dataclass
+class RecoveryOutcome:
+    """One seeded torn-write crash and what recovery salvaged."""
+
+    records_written: int
+    crash_record: int
+    cut_at: int
+    recovered: int = 0
+    dropped_bytes: int = 0
+    #: The recovered records equal the intact prefix, byte for byte.
+    prefix_ok: bool = False
+    reason: str = ""
+
+
+@dataclass
+class RobustnessRun:
+    """Chaos faults, overload shedding, and crash recovery, one seed."""
+
+    seed: int
+    chaos: ChaosRun
+    overload: OverloadOutcome
+    recovery: RecoveryOutcome
+
+    def digest(self) -> str:
+        """SHA-256 over every decision the sweep made (paths excluded):
+        same seed and inputs → byte-identical digest."""
+        o, r = self.overload, self.recovery
+        payload = json.dumps(
+            [
+                self.chaos.results_digest(),
+                self.chaos.schedule_digest,
+                [o.factor, o.total, o.admitted, o.queued, o.shed, o.answered,
+                 o.retry_after_ok, o.answers_digest, o.metrics_digest, o.error],
+                [r.records_written, r.crash_record, r.cut_at, r.recovered,
+                 r.dropped_bytes, r.prefix_ok, r.reason],
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def render(self, *, title: str = "") -> str:
+        lines = [self.chaos.render(title=title), ""]
+        o = self.overload
+        lines.append(
+            f"overload {o.factor}x: {o.admitted} admitted ({o.queued} via queue), "
+            f"{o.shed} shed of {o.total}; {o.answered} answered; "
+            f"retry_after {'ok' if o.retry_after_ok else 'MISSING'}"
+        )
+        r = self.recovery
+        lines.append(
+            f"crash recovery: tore record {r.crash_record} at byte {r.cut_at} "
+            f"of {r.records_written} written → {r.recovered} recovered, "
+            f"{r.dropped_bytes} bytes dropped, "
+            f"prefix {'intact' if r.prefix_ok else 'BROKEN'}"
+        )
+        lines.append(f"robustness digest: {self.digest()}")
+        return "\n".join(lines)
+
+
+def _run_overload_phase(
+    bundle: CorpusBundle,
+    config: WorkflowConfig,
+    *,
+    seed: int,
+    factor: int,
+    questions: list[BenchmarkQuestion],
+    mode: str,
+) -> OverloadOutcome:
+    """Drive a burst at ``factor``× the admitted rate through admission."""
+    rate, burst = 4.0, 4
+    admission = AdmissionConfig(
+        enabled=True,
+        requests_per_second=rate,
+        burst=burst,
+        queue_depth=burst,
+        queue_timeout_seconds=1.0,
+    )
+    cfg = replace(config, admission=admission)
+    n = max(1, factor) * burst
+    texts = [questions[i % len(questions)].text for i in range(n)]
+    arrivals = [i / (max(1, factor) * rate) for i in range(n)]
+    outcome = OverloadOutcome(factor=factor, total=n)
+    registry = MetricsRegistry()
+    try:
+        engine = QueryEngine.from_corpus(bundle, cfg)
+        with use_registry(registry):
+            batch = engine.answer_many(texts, mode=mode, seed=seed, arrivals=arrivals)
+    except ReproError as exc:  # the sweep reports, never aborts
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+    outcome.admitted = batch.admitted_count
+    outcome.queued = batch.queued_count
+    outcome.shed = batch.shed_count
+    outcome.answered = batch.answered_count
+    outcome.retry_after_ok = all(
+        it.retry_after > 0 for it in batch.items if it.shed
+    )
+    outcome.answers_digest = batch.answers_digest()
+    outcome.metrics_digest = registry.digest()
+    return outcome
+
+
+def _run_recovery_phase(
+    *, seed: int, journal_dir: str | Path | None
+) -> RecoveryOutcome:
+    """Journal seeded records, tear one mid-write, recover the prefix."""
+    rng = rng_for("chaos-crash", seed)
+    n_records = 8 + int(rng.integers(0, 8))
+    records = [
+        {"seq": i, "note": f"chaos-crash-{seed}-{i}", "pad": "x" * int(rng.integers(4, 40))}
+        for i in range(n_records)
+    ]
+    crash_record = int(rng.integers(1, n_records))
+    frame = encode_json_record(records[crash_record])
+    cut_at = int(rng.integers(1, len(frame)))
+    outcome = RecoveryOutcome(
+        records_written=n_records, crash_record=crash_record, cut_at=cut_at
+    )
+
+    def run_in(directory: Path) -> None:
+        path = directory / f"chaos-{seed}.journal"
+        injector = TornWriteInjector(record_index=crash_record, cut_at=cut_at)
+        journal = Journal(path, fault=injector)
+        try:
+            for record in records:
+                journal.append(record)
+        except SimulatedCrashError:
+            pass
+        finally:
+            journal.close()
+        report = recover_journal(path)
+        outcome.recovered = report.intact_count
+        outcome.dropped_bytes = report.dropped_bytes
+        outcome.reason = report.reason
+        outcome.prefix_ok = report.records == records[:crash_record]
+
+    if journal_dir is not None:
+        Path(journal_dir).mkdir(parents=True, exist_ok=True)
+        run_in(Path(journal_dir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            run_in(Path(tmp))
+    return outcome
+
+
+def run_robustness_sweep(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None = None,
+    *,
+    seed: int,
+    fault_config: FaultConfig,
+    mode: str = "rag+rerank",
+    overload_factor: int = 16,
+    questions: list[BenchmarkQuestion] | None = None,
+    journal_dir: str | Path | None = None,
+) -> RobustnessRun:
+    """Chaos faults, an overload burst, and a torn-write crash, one seed.
+
+    The three phases exercise the full robustness surface: injected hop
+    faults (retries, degradation), admission shedding at
+    ``overload_factor``× capacity, and journal recovery after a seeded
+    torn write.  Everything digest-relevant is a pure function of the
+    seed and inputs — :meth:`RobustnessRun.digest` is stable across runs.
+    """
+    config = config or WorkflowConfig(iterations_per_token=0)
+    questions = questions if questions is not None else krylov_benchmark()
+    chaos = run_chaos_experiment(
+        bundle, config, seed=seed, fault_config=fault_config,
+        mode=mode, questions=questions,
+    )
+    overload = _run_overload_phase(
+        bundle, config, seed=seed, factor=overload_factor,
+        questions=questions, mode=mode,
+    )
+    recovery = _run_recovery_phase(seed=seed, journal_dir=journal_dir)
+    return RobustnessRun(seed=seed, chaos=chaos, overload=overload, recovery=recovery)

@@ -14,6 +14,8 @@ import time
 from pathlib import Path
 
 from repro.documents import Document
+from repro.durability.atomic import atomic_write
+from repro.durability.journal import Journal, RecoveryReport, recover_journal
 from repro.errors import HistoryError
 from repro.history.records import Interaction, ScoreRecord
 from repro.observability.metrics import get_registry
@@ -21,12 +23,59 @@ from repro.pipeline.rag import PipelineResult
 from repro.utils.textproc import tokenize
 
 
+def _interaction_to_dict(rec: Interaction) -> dict:
+    return {
+        "interaction_id": rec.interaction_id,
+        "question": rec.question,
+        "answer": rec.answer,
+        "timestamp": rec.timestamp,
+        "chat_model": rec.chat_model,
+        "embedding_model": rec.embedding_model,
+        "mode": rec.mode,
+        "prompt": rec.prompt,
+        "context_sources": rec.context_sources,
+        "rag_seconds": rec.rag_seconds,
+        "llm_seconds": rec.llm_seconds,
+        "attempts": rec.attempts,
+        "degraded": rec.degraded,
+        "trace": rec.trace,
+        "answered_by_human": rec.answered_by_human,
+        "tags": rec.tags,
+        "scores": [
+            {
+                "scorer": s.scorer,
+                "score": s.score,
+                "correct_spans": s.correct_spans,
+                "incorrect_spans": s.incorrect_spans,
+                "comment": s.comment,
+            }
+            for s in rec.scores
+        ],
+    }
+
+
+def _interaction_from_dict(obj: dict) -> Interaction:
+    obj = dict(obj)
+    scores = [ScoreRecord(**s) for s in obj.pop("scores", [])]
+    rec = Interaction(**obj)
+    rec.scores = scores
+    return rec
+
+
 class InteractionStore:
-    """In-memory interaction database with JSONL persistence."""
+    """In-memory interaction database with JSONL persistence.
+
+    Durability comes in two strengths: :meth:`save` writes the whole
+    store atomically (crash leaves the old file intact), and an attached
+    write-ahead :class:`~repro.durability.journal.Journal` makes every
+    :meth:`add` durable the moment it returns, recoverable after a torn
+    write via :meth:`recover`.
+    """
 
     def __init__(self) -> None:
         self._records: dict[str, Interaction] = {}
         self._counter = itertools.count(1)
+        self._journal: Journal | None = None
 
     # ------------------------------------------------------------------ insert
     def new_id(self) -> str:
@@ -35,8 +84,53 @@ class InteractionStore:
     def add(self, interaction: Interaction) -> Interaction:
         if interaction.interaction_id in self._records:
             raise HistoryError(f"duplicate interaction id {interaction.interaction_id!r}")
+        if self._journal is not None:
+            # Journal first: if the append tears, the record was never
+            # added, so memory and disk cannot disagree after recovery.
+            self._journal.append(_interaction_to_dict(interaction))
         self._records[interaction.interaction_id] = interaction
         return interaction
+
+    # ------------------------------------------------------------------ journal
+    @property
+    def journal(self) -> Journal | None:
+        return self._journal
+
+    def attach_journal(self, path: str | Path, *, fsync: bool = True) -> Journal:
+        """Every subsequent :meth:`add` appends to the journal at ``path``."""
+        if self._journal is not None:
+            raise HistoryError("a journal is already attached")
+        self._journal = Journal(path, fsync=fsync)
+        return self._journal
+
+    def detach_journal(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    @classmethod
+    def recover(
+        cls, path: str | Path, *, truncate: bool = True
+    ) -> "tuple[InteractionStore, RecoveryReport]":
+        """Rebuild a store from its journal, dropping any torn tail.
+
+        Returns the recovered store and the
+        :class:`~repro.durability.journal.RecoveryReport` saying exactly
+        how many records survived and how many bytes were dropped.
+        """
+        report = recover_journal(path, truncate=truncate)
+        store = cls()
+        max_seq = 0
+        for obj in report.records:
+            rec = _interaction_from_dict(obj)
+            store.add(rec)
+            try:
+                max_seq = max(max_seq, int(rec.interaction_id.split("-")[-1]))
+            except ValueError:
+                pass
+        store._counter = itertools.count(max_seq + 1)
+        get_registry().counter("repro.history.recovered").inc(report.intact_count)
+        return store, report
 
     def record_pipeline_result(
         self,
@@ -167,40 +261,11 @@ class InteractionStore:
         return docs
 
     # ------------------------------------------------------------------ persistence
-    def save(self, path: str | Path) -> None:
-        p = Path(path)
-        p.parent.mkdir(parents=True, exist_ok=True)
-        with p.open("w", encoding="utf-8") as fh:
-            for rec in self.all():
-                obj = {
-                    "interaction_id": rec.interaction_id,
-                    "question": rec.question,
-                    "answer": rec.answer,
-                    "timestamp": rec.timestamp,
-                    "chat_model": rec.chat_model,
-                    "embedding_model": rec.embedding_model,
-                    "mode": rec.mode,
-                    "prompt": rec.prompt,
-                    "context_sources": rec.context_sources,
-                    "rag_seconds": rec.rag_seconds,
-                    "llm_seconds": rec.llm_seconds,
-                    "attempts": rec.attempts,
-                    "degraded": rec.degraded,
-                    "trace": rec.trace,
-                    "answered_by_human": rec.answered_by_human,
-                    "tags": rec.tags,
-                    "scores": [
-                        {
-                            "scorer": s.scorer,
-                            "score": s.score,
-                            "correct_spans": s.correct_spans,
-                            "incorrect_spans": s.incorrect_spans,
-                            "comment": s.comment,
-                        }
-                        for s in rec.scores
-                    ],
-                }
-                fh.write(json.dumps(obj) + "\n")
+    def save(self, path: str | Path, *, fsync: bool = True) -> None:
+        """Write the full store as JSONL, atomically: a crash mid-save
+        leaves the previous file byte-for-byte intact."""
+        lines = [json.dumps(_interaction_to_dict(rec)) for rec in self.all()]
+        atomic_write(path, "".join(line + "\n" for line in lines), fsync=fsync)
 
     @classmethod
     def load(cls, path: str | Path) -> "InteractionStore":
@@ -213,9 +278,7 @@ class InteractionStore:
                 obj = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise HistoryError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
-            scores = [ScoreRecord(**s) for s in obj.pop("scores", [])]
-            rec = Interaction(**obj)
-            rec.scores = scores
+            rec = _interaction_from_dict(obj)
             store.add(rec)
             try:
                 max_seq = max(max_seq, int(rec.interaction_id.split("-")[-1]))

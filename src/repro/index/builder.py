@@ -23,6 +23,7 @@ never silently serves the wrong index.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 from pathlib import Path
@@ -30,6 +31,7 @@ from pathlib import Path
 from repro.config import WorkflowConfig
 from repro.corpus.builder import CorpusBundle, chunk_corpus
 from repro.documents import Document
+from repro.durability.atomic import atomic_write_json
 from repro.embeddings import create_embedding_model
 from repro.errors import IndexBuildError, ReproError
 from repro.index.artifact import (
@@ -93,14 +95,34 @@ def build_index(bundle: CorpusBundle, config: WorkflowConfig | None = None) -> I
 
 
 # ------------------------------------------------------------------ disk cache
+#: Store payload files covered by the manifest's checksums.
+_PAYLOAD_FILES = ("vectors.npz", "documents.jsonl", "manifest.json")
+
+
+def _payload_checksums(store_dir: Path) -> dict[str, str]:
+    return {
+        name: hashlib.sha256((store_dir / name).read_bytes()).hexdigest()
+        for name in _PAYLOAD_FILES
+    }
+
+
 def save_artifact(artifact: IndexArtifact, cache_dir: str | Path) -> Path:
-    """Persist the artifact under ``cache_dir/<digest16>/``."""
+    """Persist the artifact under ``cache_dir/<digest16>/``.
+
+    Payload files and the top-level manifest land atomically, and the
+    manifest — written last — carries SHA-256 checksums of every payload
+    file.  A crash between payload and manifest leaves no manifest (a
+    clean miss); a corrupted payload fails checksum verification on
+    load.  Either way the cache falls back to a rebuild, never serves
+    torn bytes.
+    """
     root = Path(cache_dir) / artifact.digest[:16]
     root.mkdir(parents=True, exist_ok=True)
-    artifact.store.save(root / _STORE_DIR)
-    (root / _MANIFEST).write_text(
-        json.dumps(artifact.summary(), indent=2, sort_keys=True)
-    )
+    store_dir = root / _STORE_DIR
+    artifact.store.save(store_dir)
+    summary = dict(artifact.summary())
+    summary["payload_checksums"] = _payload_checksums(store_dir)
+    atomic_write_json(root / _MANIFEST, summary)
     get_registry().counter("repro.index.disk_writes").inc()
     return root
 
@@ -132,6 +154,22 @@ def load_artifact(
             f"cached artifact digest {manifest.get('digest')!r} != expected {expected!r}"
         )
     store_dir = root / _STORE_DIR
+    checksums = manifest.get("payload_checksums")
+    if checksums and config.durability.verify_index_checksums:
+        # Manifests written before checksums existed verify as trusted.
+        for name, expected_sum in sorted(checksums.items()):
+            try:
+                actual = hashlib.sha256((store_dir / name).read_bytes()).hexdigest()
+            except OSError as exc:
+                raise IndexBuildError(
+                    f"cached payload {name} unreadable in {store_dir}: {exc}"
+                ) from exc
+            if actual != expected_sum:
+                get_registry().counter("repro.index.checksum_failures").inc()
+                raise IndexBuildError(
+                    f"cached payload {name} fails checksum in {store_dir} "
+                    f"(expected {expected_sum[:12]}…, got {actual[:12]}…)"
+                )
     try:
         chunk_lines = (store_dir / "documents.jsonl").read_text(encoding="utf-8").splitlines()
     except OSError as exc:

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
+from repro.durability.journal import Journal, RecoveryReport, recover_journal
 from repro.mail.gmail import GmailAccount
 from repro.observability.metrics import get_registry
+from repro.observability.trace import Tracer
 
 WebhookPost = Callable[[str], None]
 
@@ -33,6 +36,11 @@ class AppsScriptPoller:
     the next tick redelivers.  Dead letters drain first on each tick so
     a notification lost to a transient outage arrives as soon as the
     webhook recovers.
+
+    With a :class:`~repro.durability.journal.Journal` attached, every
+    queue mutation (push / pop / drop) is journaled, so the dead-letter
+    queue survives process death: :meth:`restore_dead_letters` replays
+    the intact op prefix after a crash, dropping any torn tail.
     """
 
     account: GmailAccount
@@ -41,10 +49,63 @@ class AppsScriptPoller:
     #: Dead letters kept for redelivery; beyond this the oldest drops
     #: (safe: every notification carries the same "go fetch" meaning).
     max_dead_letters: int = 32
+    #: Optional tracer: queue drops become span events when a trace is
+    #: active, so silent data loss shows up in the span tree.
+    tracer: Tracer | None = None
+    #: Optional write-ahead journal for the dead-letter queue.
+    journal: Journal | None = None
     runs: int = 0
     notifications_sent: int = 0
     failures: int = 0
     dead_letters: deque[str] = field(default_factory=deque)
+
+    # ------------------------------------------------------------ journal
+    def attach_journal(self, path: str | Path, *, fsync: bool = True) -> Journal:
+        """Journal every dead-letter queue mutation to ``path``."""
+        self.journal = Journal(path, fsync=fsync)
+        return self.journal
+
+    def _journal_op(self, op: str, payload: str = "") -> None:
+        if self.journal is not None:
+            self.journal.append({"op": op, "payload": payload})
+
+    def restore_dead_letters(
+        self, path: str | Path, *, truncate: bool = True
+    ) -> RecoveryReport:
+        """Rebuild the dead-letter queue from its journal after a crash.
+
+        Replays the intact op prefix (push / pop / drop) in order; the
+        queue ends exactly as it was at the last acknowledged append.
+        """
+        report = recover_journal(path, truncate=truncate)
+        self.dead_letters.clear()
+        for record in report.records:
+            op = record.get("op")
+            if op == "push":
+                self.dead_letters.append(record.get("payload", ""))
+            elif op in ("pop", "drop") and self.dead_letters:
+                self.dead_letters.popleft()
+        get_registry().counter("repro.poller.dead_letters_restored").inc(
+            len(self.dead_letters)
+        )
+        get_registry().gauge("repro.mail.dead_letters").set(len(self.dead_letters))
+        return report
+
+    # ------------------------------------------------------------ queue
+    def _dead_letter(self, payload: str) -> None:
+        """Queue a failed payload; overflow drops the oldest, loudly."""
+        registry = get_registry()
+        self.dead_letters.append(payload)
+        self._journal_op("push", payload)
+        while len(self.dead_letters) > self.max_dead_letters:
+            dropped = self.dead_letters.popleft()
+            self._journal_op("drop", dropped)
+            registry.counter("repro.poller.dead_letter_dropped").inc()
+            if self.tracer is not None and self.tracer.active:
+                self.tracer.event(
+                    "dead-letter:dropped", queue_depth=self.max_dead_letters
+                )
+        registry.gauge("repro.mail.dead_letters").set(len(self.dead_letters))
 
     def _post(self, payload: str) -> bool:
         """One delivery attempt; a failure dead-letters the payload."""
@@ -54,10 +115,7 @@ class AppsScriptPoller:
         except Exception:
             self.failures += 1
             registry.counter("repro.mail.webhook_failures").inc()
-            self.dead_letters.append(payload)
-            while len(self.dead_letters) > self.max_dead_letters:
-                self.dead_letters.popleft()
-            registry.gauge("repro.mail.dead_letters").set(len(self.dead_letters))
+            self._dead_letter(payload)
             return False
         self.notifications_sent += 1
         registry.counter("repro.mail.notifications").inc()
@@ -77,6 +135,7 @@ class AppsScriptPoller:
         # Redeliver dead letters before looking at new mail.
         for _ in range(len(self.dead_letters)):
             payload = self.dead_letters.popleft()
+            self._journal_op("pop", payload)
             if not self._post(payload):
                 break  # _post re-queued it; don't spin on a dead hop
             registry.counter("repro.mail.redeliveries").inc()

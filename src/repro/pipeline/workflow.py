@@ -134,7 +134,7 @@ def build_workflow(
     else:
         engine = QueryEngine.from_corpus(bundle, config)
         pipeline = engine.pipeline(mode)
-    return AugmentedWorkflow(
+    workflow = AugmentedWorkflow(
         bundle,
         pipeline,
         engine=engine,
@@ -145,3 +145,10 @@ def build_workflow(
         record_history=config.record_history,
         record_traces=config.observability.record_traces,
     )
+    if config.durability.history_journal and workflow.store.journal is None:
+        # Every recorded interaction becomes durable the moment it lands;
+        # `repro recover` rebuilds the store from this journal after a crash.
+        workflow.store.attach_journal(
+            config.durability.history_journal, fsync=config.durability.fsync
+        )
+    return workflow

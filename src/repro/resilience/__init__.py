@@ -13,18 +13,21 @@ answering when a hop misbehaves:
 
 from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.resilience.faults import (
+    CrashPointInjector,
     FaultConfig,
     FaultEvent,
     FaultInjector,
     FaultyChatModel,
     FaultyReranker,
     FaultyRetriever,
+    TornWriteInjector,
 )
 from repro.resilience.policy import Deadline, RetryOutcome, RetryPolicy
 
 __all__ = [
     "BreakerState",
     "CircuitBreaker",
+    "CrashPointInjector",
     "Deadline",
     "FaultConfig",
     "FaultEvent",
@@ -34,4 +37,5 @@ __all__ = [
     "FaultyRetriever",
     "RetryOutcome",
     "RetryPolicy",
+    "TornWriteInjector",
 ]

@@ -22,7 +22,7 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, TypeVar
 
-from repro.errors import ConfigurationError, TransientError
+from repro.errors import ConfigurationError, SimulatedCrashError, TransientError
 from repro.llm.base import ChatMessage, ChatModel, CompletionResult
 from repro.observability.metrics import get_registry
 from repro.rerank.base import Reranker, RerankResult
@@ -151,6 +151,65 @@ class FaultInjector:
 
     def wrap_reranker(self, reranker: Reranker, *, site: str = "reranker") -> "FaultyReranker":
         return FaultyReranker(reranker, injector=self, site=site)
+
+
+class CrashPointInjector:
+    """Simulated process death at named crash points.
+
+    ``points`` is a set of ``(site, call_index)`` pairs; the injector
+    counts calls per site and raises :class:`SimulatedCrashError` when a
+    scheduled point is reached, *before* the guarded operation runs —
+    the disk is left exactly as a real crash there would leave it.
+    Duck-typed against :class:`repro.durability.atomic.CrashHook`, so the
+    durability layer stays below the resilience layer.
+    """
+
+    def __init__(self, points: "set[tuple[str, int]] | list[tuple[str, int]]") -> None:
+        self.points = set(points)
+        self.fired: list[tuple[str, int]] = []
+        self._counters: dict[str, int] = {}
+
+    def check(self, site: str) -> None:
+        n = self._counters.get(site, 0)
+        self._counters[site] = n + 1
+        if (site, n) in self.points:
+            self.fired.append((site, n))
+            get_registry().counter("repro.resilience.crash_points").inc()
+            raise SimulatedCrashError(
+                f"simulated crash at {site!r} (call {n})"
+            )
+
+
+class TornWriteInjector:
+    """Cut one journal frame short mid-write, then "crash".
+
+    The ``record_index``-th append writes only the first ``cut_at``
+    bytes of its frame before the simulated process death — exactly the
+    state a power loss mid-write leaves behind, which is what
+    :func:`repro.durability.recover_journal` must recover from.
+    Duck-typed against :class:`repro.durability.journal.TornWriteHook`.
+    """
+
+    def __init__(self, *, record_index: int, cut_at: int) -> None:
+        if record_index < 0:
+            raise ConfigurationError(
+                f"record_index must be >= 0, got {record_index}"
+            )
+        if cut_at < 0:
+            raise ConfigurationError(f"cut_at must be >= 0, got {cut_at}")
+        self.record_index = record_index
+        self.cut_at = cut_at
+        self.fired = False
+        self._n = 0
+
+    def intercept(self, frame: bytes) -> tuple[bytes, bool]:
+        i = self._n
+        self._n += 1
+        if i == self.record_index:
+            self.fired = True
+            get_registry().counter("repro.resilience.torn_writes").inc()
+            return frame[: min(self.cut_at, len(frame))], True
+        return frame, False
 
 
 class FaultyChatModel(ChatModel):

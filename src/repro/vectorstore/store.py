@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 
 import numpy as np
 
 from repro.documents import Document
+from repro.durability.atomic import atomic_write
 from repro.embeddings.base import EmbeddingModel
 from repro.errors import VectorStoreError
 from repro.vectorstore.filters import matches_where
@@ -203,18 +205,26 @@ class VectorStore:
 
     # ------------------------------------------------------------ persistence
     def save(self, directory: str | Path) -> Path:
-        """Persist documents + vectors; format is npz + jsonl + manifest."""
+        """Persist documents + vectors; format is npz + jsonl + manifest.
+
+        Each file lands via :func:`~repro.durability.atomic.atomic_write`
+        (temp + fsync + rename), so a crash mid-save never leaves a
+        half-written file where a complete one used to be.
+        """
         if not isinstance(self.index, BruteForceIndex):
             raise VectorStoreError("only BruteForceIndex-backed stores can be persisted")
         d = Path(directory)
         d.mkdir(parents=True, exist_ok=True)
         live = [i for i in range(len(self._docs)) if i not in self._deleted]
-        np.savez_compressed(d / "vectors.npz", vectors=self.index.matrix[live])
-        with (d / "documents.jsonl").open("w", encoding="utf-8") as fh:
-            for i in live:
-                doc = self._docs[i]
-                fh.write(json.dumps({"text": doc.text, "metadata": doc.metadata}) + "\n")
-        (d / "manifest.json").write_text(json.dumps({
+        buf = io.BytesIO()
+        np.savez_compressed(buf, vectors=self.index.matrix[live])
+        atomic_write(d / "vectors.npz", buf.getvalue())
+        lines = [
+            json.dumps({"text": self._docs[i].text, "metadata": self._docs[i].metadata})
+            for i in live
+        ]
+        atomic_write(d / "documents.jsonl", "".join(line + "\n" for line in lines))
+        atomic_write(d / "manifest.json", json.dumps({
             "collection_name": self.collection_name,
             "embedding_model": self.embedding.name,
             "dim": self.embedding.dim,

@@ -7,7 +7,8 @@ import pytest
 from repro.bots import build_support_system
 from repro.config import WorkflowConfig
 from repro.errors import TransientError
-from repro.evaluation.chaos import run_chaos_experiment
+from repro.evaluation.benchmark import krylov_benchmark
+from repro.evaluation.chaos import run_chaos_experiment, run_robustness_sweep
 from repro.history import InteractionStore
 from repro.llm.base import ChatMessage, ChatModel, CompletionResult, TokenUsage
 from repro.mail.appsscript import AppsScriptPoller
@@ -245,3 +246,52 @@ class TestSupportSystemChaos:
         )
         assert run_a.schedule_digest == run_b.schedule_digest
         assert run_a.results_digest() == run_b.results_digest()
+
+
+class TestRobustnessSweep:
+    """Satellite: chaos + overload + crash recovery in one seeded sweep."""
+
+    def test_sweep_covers_all_three_phases(self, bundle, tmp_path):
+        sweep = run_robustness_sweep(
+            bundle, seed=3, fault_config=FaultConfig(transient_rate=0.2),
+            overload_factor=16, questions=krylov_benchmark()[:6],
+            journal_dir=tmp_path,
+        )
+        # Chaos phase ran the question subset.
+        assert len(sweep.chaos.outcomes) == 6
+        # Overload phase shed most of a 16x burst, hints intact.
+        assert sweep.overload.error == ""
+        assert sweep.overload.shed > 0
+        assert sweep.overload.retry_after_ok
+        assert sweep.overload.answered == sweep.overload.admitted
+        # Recovery phase got back exactly the intact record prefix.
+        assert sweep.recovery.prefix_ok
+        assert sweep.recovery.recovered == sweep.recovery.crash_record
+
+    def test_sweep_digest_is_seed_stable(self, bundle, tmp_path):
+        kwargs = dict(
+            fault_config=FaultConfig(transient_rate=0.2),
+            overload_factor=16, questions=krylov_benchmark()[:4],
+        )
+        a = run_robustness_sweep(
+            bundle, seed=9, journal_dir=tmp_path / "a", **kwargs
+        )
+        b = run_robustness_sweep(
+            bundle, seed=9, journal_dir=tmp_path / "b", **kwargs
+        )
+        assert a.digest() == b.digest()
+        c = run_robustness_sweep(
+            bundle, seed=10, journal_dir=tmp_path / "c", **kwargs
+        )
+        assert c.digest() != a.digest()
+
+    def test_render_mentions_every_phase(self, bundle, tmp_path):
+        sweep = run_robustness_sweep(
+            bundle, seed=1, fault_config=FaultConfig(transient_rate=0.1),
+            overload_factor=4, questions=krylov_benchmark()[:3],
+            journal_dir=tmp_path,
+        )
+        text = sweep.render(title="robustness")
+        assert "overload 4x" in text
+        assert "crash recovery" in text
+        assert "robustness digest" in text

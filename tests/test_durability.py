@@ -1,0 +1,419 @@
+"""Durability layer: atomic writes, journal recovery, torn-write sweeps."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import WorkflowConfig
+from repro.durability import (
+    Journal,
+    atomic_write,
+    atomic_write_json,
+    encode_record,
+    recover_journal,
+    scan_journal,
+)
+from repro.durability.journal import encode_json_record
+from repro.errors import IndexBuildError, SimulatedCrashError
+from repro.history import Interaction, InteractionStore
+from repro.mail import AppsScriptPoller, GmailAccount
+from repro.observability import MetricsRegistry, Tracer, use_registry
+from repro.resilience import CrashPointInjector, TornWriteInjector
+
+
+# ------------------------------------------------------------------ atomic
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write(target, "v1")
+        atomic_write(target, "v2")
+        assert target.read_text() == "v2"
+        assert not list(tmp_path.glob(".*.tmp"))
+
+    def test_crash_before_write_leaves_nothing(self, tmp_path):
+        target = tmp_path / "state.json"
+        fault = CrashPointInjector([("atomic:pre-write", 0)])
+        with pytest.raises(SimulatedCrashError):
+            atomic_write(target, "new", fault=fault)
+        assert not target.exists()
+
+    def test_crash_before_rename_keeps_old_content(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write(target, "old")
+        fault = CrashPointInjector([("atomic:pre-rename", 0)])
+        with pytest.raises(SimulatedCrashError):
+            atomic_write(target, "new", fault=fault)
+        # The temp file exists but the target is byte-for-byte the old one.
+        assert target.read_text() == "old"
+
+    def test_later_call_index_survives_earlier_writes(self, tmp_path):
+        target = tmp_path / "state.json"
+        fault = CrashPointInjector([("atomic:pre-rename", 1)])
+        atomic_write(target, "first", fault=fault)
+        with pytest.raises(SimulatedCrashError):
+            atomic_write(target, "second", fault=fault)
+        assert target.read_text() == "first"
+
+    def test_json_helper_roundtrip(self, tmp_path):
+        target = tmp_path / "obj.json"
+        atomic_write_json(target, {"b": 2, "a": 1})
+        assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+
+    def test_counts_writes(self, tmp_path):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            atomic_write(tmp_path / "x", "data")
+        assert registry.counter("repro.durability.atomic_writes").value == 1
+
+
+# ------------------------------------------------------------------ journal
+RECORDS = [
+    {"seq": 0, "kind": "greeting", "text": "hello"},
+    {"seq": 1, "kind": "data", "text": "x" * 37},
+    {"seq": 2, "kind": "unicode", "text": "café ∑ ≈"},
+    {"seq": 3, "kind": "empty", "text": ""},
+]
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.log"
+        with Journal(path) as journal:
+            for rec in RECORDS:
+                journal.append(rec)
+        report = scan_journal(path)
+        assert report.records == RECORDS
+        assert not report.truncated
+        assert report.reason == ""
+
+    def test_missing_file_scans_clean(self, tmp_path):
+        report = scan_journal(tmp_path / "absent.log")
+        assert report.records == []
+        assert not report.truncated
+
+    def test_appends_after_reopen(self, tmp_path):
+        path = tmp_path / "j.log"
+        with Journal(path) as journal:
+            journal.append(RECORDS[0])
+        with Journal(path) as journal:
+            journal.append(RECORDS[1])
+        assert scan_journal(path).records == RECORDS[:2]
+
+    def test_checksum_detects_flipped_byte(self, tmp_path):
+        path = tmp_path / "j.log"
+        with Journal(path) as journal:
+            for rec in RECORDS:
+                journal.append(rec)
+        data = bytearray(path.read_bytes())
+        # Flip one payload byte inside the second record.
+        second_start = len(encode_json_record(RECORDS[0]))
+        header_end = data.index(b"\n", second_start) + 1
+        data[header_end + 3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        report = scan_journal(path)
+        assert report.records == RECORDS[:1]
+        assert "checksum mismatch" in report.reason
+
+    def test_garbage_prefix_recovers_nothing(self, tmp_path):
+        path = tmp_path / "j.log"
+        path.write_bytes(b"not a journal at all\n" + encode_record(b"{}"))
+        report = recover_journal(path)
+        assert report.records == []
+        assert path.read_bytes() == b""
+
+    def test_recover_truncates_and_counts(self, tmp_path):
+        path = tmp_path / "j.log"
+        with Journal(path) as journal:
+            for rec in RECORDS:
+                journal.append(rec)
+        intact = len(path.read_bytes())
+        path.write_bytes(path.read_bytes() + b"J1 999")  # torn header
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            report = recover_journal(path)
+        assert report.records == RECORDS
+        assert len(path.read_bytes()) == intact
+        assert registry.counter("repro.durability.journal_truncations").value == 1
+        assert registry.counter("repro.durability.journal_bytes_dropped").value == 6
+        assert (
+            registry.counter("repro.durability.journal_records_recovered").value
+            == len(RECORDS)
+        )
+
+    def test_recover_dry_run_leaves_file(self, tmp_path):
+        path = tmp_path / "j.log"
+        with Journal(path) as journal:
+            journal.append(RECORDS[0])
+        torn = path.read_bytes() + b"J1 torn"
+        path.write_bytes(torn)
+        report = recover_journal(path, truncate=False)
+        assert report.truncated
+        assert path.read_bytes() == torn
+
+
+def _torn_write_cases():
+    """Every (record, cut) boundary for a small journal — exhaustive."""
+    frames = [encode_json_record(r) for r in RECORDS]
+    cases = []
+    for record_index, frame in enumerate(frames):
+        for cut_at in range(len(frame) + 1):
+            cases.append((record_index, cut_at))
+    return cases
+
+
+class TestTornWriteSweep:
+    @pytest.mark.parametrize("record_index,cut_at", _torn_write_cases())
+    def test_recovers_exact_intact_prefix(self, tmp_path, record_index, cut_at):
+        """Kill the journal at every byte boundary of every record; the
+        recovered records must be exactly the acknowledged prefix."""
+        path = tmp_path / "j.log"
+        injector = TornWriteInjector(record_index=record_index, cut_at=cut_at)
+        journal = Journal(path, fault=injector)
+        wrote = 0
+        try:
+            for rec in RECORDS:
+                journal.append(rec)
+                wrote += 1
+        except SimulatedCrashError:
+            pass
+        finally:
+            journal.close()
+        assert injector.fired
+        assert wrote == record_index  # the torn append was never acked
+        frame = encode_json_record(RECORDS[record_index])
+        report = recover_journal(path)
+        if cut_at == len(frame):
+            # The "torn" write completed in full: the record is intact
+            # on disk (just unacked), so recovery keeps it.
+            assert report.records == RECORDS[: record_index + 1]
+            assert not report.truncated
+        else:
+            assert report.records == RECORDS[:record_index]
+            assert report.dropped_bytes == cut_at
+            # cut_at == 0 writes nothing: a clean journal, no tail.
+            assert report.truncated == (cut_at > 0)
+
+    def test_full_frame_cut_is_recoverable_record(self, tmp_path):
+        """cut_at == len(frame) writes the whole frame before the crash;
+        recovery keeps it (it is intact on disk, even if unacked)."""
+        path = tmp_path / "j.log"
+        frame_len = len(encode_json_record(RECORDS[0]))
+        injector = TornWriteInjector(record_index=0, cut_at=frame_len)
+        journal = Journal(path, fault=injector)
+        with pytest.raises(SimulatedCrashError):
+            journal.append(RECORDS[0])
+        report = recover_journal(path)
+        assert report.records == [RECORDS[0]]
+
+
+# ------------------------------------------------------------------ history
+def _interaction(i: int) -> Interaction:
+    return Interaction(
+        interaction_id=f"int-{i:06d}",
+        question=f"What is KSP variant {i}?",
+        answer=f"Answer body {i}",
+        timestamp=1000.0 + i,
+        chat_model="gpt-4o-sim",
+        mode="rag+rerank",
+    )
+
+
+class TestHistoryJournal:
+    def test_journaled_adds_recover(self, tmp_path):
+        path = tmp_path / "history.journal"
+        store = InteractionStore()
+        store.attach_journal(path)
+        for i in range(1, 4):
+            store.add(_interaction(i))
+        store.detach_journal()
+        recovered, report = InteractionStore.recover(path)
+        assert len(recovered) == 3
+        assert not report.truncated
+        assert recovered.get("int-000002").question == "What is KSP variant 2?"
+        # The id counter resumes past the recovered records.
+        assert recovered.new_id() == "int-000004"
+
+    @pytest.mark.parametrize("cut_fraction", (0.0, 0.3, 0.7, 0.999))
+    def test_torn_tail_drops_only_last(self, tmp_path, cut_fraction):
+        path = tmp_path / "history.journal"
+        records = [_interaction(i) for i in range(1, 5)]
+        from repro.history.store import _interaction_to_dict
+
+        frame = encode_json_record(_interaction_to_dict(records[-1]))
+        injector = TornWriteInjector(
+            record_index=3, cut_at=int(cut_fraction * len(frame))
+        )
+        store = InteractionStore()
+        journal = store.attach_journal(path)
+        journal.fault = injector
+        with pytest.raises(SimulatedCrashError):
+            for rec in records:
+                store.add(rec)
+        recovered, report = InteractionStore.recover(path)
+        assert [r.interaction_id for r in recovered.all()] == [
+            "int-000001", "int-000002", "int-000003",
+        ]
+        # cut_fraction 0.0 writes no bytes of the torn record at all —
+        # the journal on disk is clean, just short one record.
+        assert report.truncated == (cut_fraction > 0)
+
+    def test_crashed_add_never_entered_memory(self, tmp_path):
+        path = tmp_path / "history.journal"
+        store = InteractionStore()
+        journal = store.attach_journal(path)
+        journal.fault = TornWriteInjector(record_index=0, cut_at=5)
+        with pytest.raises(SimulatedCrashError):
+            store.add(_interaction(1))
+        assert len(store) == 0  # journal-first: memory matches disk
+
+    def test_save_is_atomic(self, tmp_path):
+        target = tmp_path / "history.jsonl"
+        store = InteractionStore()
+        store.add(_interaction(1))
+        store.save(target)
+        loaded = InteractionStore.load(target)
+        assert len(loaded) == 1
+
+
+# ------------------------------------------------------------------ poller
+def _poller(tmp_path, *, max_dead_letters=3, tracer=None):
+    account = GmailAccount("assistant@petsc.dev")
+    calls = {"fail": True}
+
+    def webhook(payload: str) -> None:
+        if calls["fail"]:
+            raise ConnectionError("webhook down")
+
+    poller = AppsScriptPoller(
+        account=account,
+        webhook_post=webhook,
+        max_dead_letters=max_dead_letters,
+        tracer=tracer,
+    )
+    return poller, account, calls
+
+
+class TestPollerDeadLetters:
+    def test_overflow_drops_oldest_with_counter(self, tmp_path):
+        poller, account, _ = _poller(tmp_path, max_dead_letters=2)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            for i in range(4):
+                poller._post(f"notification {i}")
+        assert list(poller.dead_letters) == ["notification 2", "notification 3"]
+        assert registry.counter("repro.poller.dead_letter_dropped").value == 2
+
+    def test_overflow_emits_span_event(self, tmp_path):
+        tracer = Tracer()
+        poller, _, _ = _poller(tmp_path, max_dead_letters=1, tracer=tracer)
+        with tracer.trace("poller-tick") as trace:
+            poller._post("first")
+            poller._post("second")  # overflows, drops "first"
+        assert "dead-letter:dropped" in trace.event_names()
+
+    def test_journal_restores_queue_after_crash(self, tmp_path):
+        path = tmp_path / "dlq.journal"
+        poller, _, calls = _poller(tmp_path, max_dead_letters=2)
+        poller.attach_journal(path)
+        for i in range(4):
+            poller._post(f"n{i}")  # two drops, queue = [n2, n3]
+        # Redeliver one successfully: queue = [n3].
+        calls["fail"] = False
+        poller.tick()
+        survivor = AppsScriptPoller(account=GmailAccount("assistant@petsc.dev"), webhook_post=lambda p: None)
+        report = survivor.restore_dead_letters(path)
+        assert list(survivor.dead_letters) == []  # tick drained the queue
+        assert not report.truncated
+
+    def test_journal_restore_mid_outage(self, tmp_path):
+        path = tmp_path / "dlq.journal"
+        poller, _, _ = _poller(tmp_path, max_dead_letters=8)
+        poller.attach_journal(path)
+        for i in range(3):
+            poller._post(f"n{i}")
+        survivor = AppsScriptPoller(account=GmailAccount("assistant@petsc.dev"), webhook_post=lambda p: None)
+        survivor.restore_dead_letters(path)
+        assert list(survivor.dead_letters) == ["n0", "n1", "n2"]
+
+    @pytest.mark.parametrize("cut_fraction", (0.1, 0.5, 0.9))
+    def test_torn_dead_letter_journal_recovers_prefix(self, tmp_path, cut_fraction):
+        path = tmp_path / "dlq.journal"
+        poller, _, _ = _poller(tmp_path, max_dead_letters=8)
+        journal = poller.attach_journal(path)
+        frame = encode_json_record({"op": "push", "payload": "n2"})
+        journal.fault = TornWriteInjector(
+            record_index=2, cut_at=max(1, int(cut_fraction * len(frame)))
+        )
+        with pytest.raises(SimulatedCrashError):
+            for i in range(4):
+                poller._dead_letter(f"n{i}")
+        survivor = AppsScriptPoller(account=GmailAccount("assistant@petsc.dev"), webhook_post=lambda p: None)
+        report = survivor.restore_dead_letters(path)
+        assert list(survivor.dead_letters) == ["n0", "n1"]
+        assert report.truncated
+
+
+# ------------------------------------------------------------------ index cache
+class TestIndexCacheChecksums:
+    def test_manifest_carries_payload_checksums(self, bundle, tmp_path):
+        from repro.index.builder import build_index, save_artifact
+
+        artifact = build_index(bundle, WorkflowConfig(iterations_per_token=0))
+        root = save_artifact(artifact, tmp_path)
+        manifest = json.loads((root / "artifact.json").read_text())
+        sums = manifest["payload_checksums"]
+        assert set(sums) == {"vectors.npz", "documents.jsonl", "manifest.json"}
+        assert all(len(v) == 64 for v in sums.values())
+
+    def test_corrupt_payload_fails_load_then_rebuilds(self, bundle, tmp_path):
+        from repro.index.builder import (
+            build_index,
+            get_or_build_index,
+            load_artifact,
+            save_artifact,
+            clear_index_cache,
+        )
+
+        cfg = WorkflowConfig(iterations_per_token=0)
+        artifact = build_index(bundle, cfg)
+        root = save_artifact(artifact, tmp_path)
+        payload = root / "store" / "documents.jsonl"
+        payload.write_bytes(payload.read_bytes()[:-10] + b"corruption")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.raises(IndexBuildError, match="checksum"):
+                load_artifact(bundle, cfg, tmp_path)
+        assert registry.counter("repro.index.checksum_failures").value == 1
+        # The entry point falls back to a fresh build over the bad cache.
+        clear_index_cache()
+        try:
+            rebuilt = get_or_build_index(bundle, cfg, cache_dir=tmp_path)
+        finally:
+            clear_index_cache()
+        assert rebuilt.digest == artifact.digest
+        fresh = load_artifact(bundle, cfg, tmp_path)
+        assert fresh.digest == artifact.digest
+
+    def test_clean_cache_loads_with_verification(self, bundle, tmp_path):
+        from repro.index.builder import build_index, load_artifact, save_artifact
+
+        cfg = WorkflowConfig(iterations_per_token=0)
+        artifact = build_index(bundle, cfg)
+        save_artifact(artifact, tmp_path)
+        loaded = load_artifact(bundle, cfg, tmp_path)
+        assert loaded.digest == artifact.digest
+
+    def test_verification_can_be_disabled(self, bundle, tmp_path):
+        from repro.index.builder import build_index, load_artifact, save_artifact
+
+        cfg = WorkflowConfig(iterations_per_token=0)
+        artifact = build_index(bundle, cfg)
+        root = save_artifact(artifact, tmp_path)
+        manifest_file = root / "store" / "manifest.json"
+        # Cosmetic corruption that keeps the JSON loadable.
+        manifest_file.write_text(manifest_file.read_text() + " ")
+        cfg.durability.verify_index_checksums = False
+        loaded = load_artifact(bundle, cfg, tmp_path)
+        assert loaded.digest == artifact.digest
