@@ -1,0 +1,204 @@
+"""E13 — sharded index: digest parity, scatter invariance, incremental rebuild.
+
+Three claims, each load-bearing for the sharded serving path:
+
+1. **Partition invariance** — answers are byte-identical across shard
+   counts 1/2/4/8 *and* against the monolithic index.  One embedding
+   model is fitted globally and the scatter-gather merge re-sorts by
+   ``(-score, doc_id)``, so how the corpus is partitioned can never leak
+   into what the assistant says.  Span digests are identical across all
+   sharded counts (the constant-named ``scatter`` span carries shard
+   details in attributes only, which the structure digest excludes).
+2. **Scatter/worker invariance** — at a fixed shard count, the answers,
+   span, and metrics digests do not move with ``scatter_workers``, nor
+   across two same-seed runs.
+3. **Incremental rebuild** — with a corpus-free embedding, editing one
+   document dirties exactly one shard: the rebuild runs ``build_index``
+   once (counter +1, not +N), loads the clean shards from the per-shard
+   disk cache, and beats a monolithic full rebuild by >= 2x.
+
+Results land in ``BENCH_shards.json`` at the repo root; the ``digests``
+block is what CI's two-run equality gate compares (timings are
+wall-clock and may vary, the digests may not).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.api import open_engine
+from repro.config import ReproConfig, RetrievalConfig, ShardingConfig
+from repro.corpus.builder import CorpusBundle
+from repro.documents import Document
+from repro.evaluation.benchmark import krylov_benchmark
+from repro.index import build_sharded_index, clear_index_cache, get_or_build_index
+from repro.observability import MetricsRegistry, use_registry
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_shards.json"
+SEED = 7
+SHARD_SWEEP = (1, 2, 4, 8)
+SCATTER_SWEEP = (1, 2, 4)
+PARITY_SHARDS = 4
+REBUILD_SHARDS = 4
+#: Corpus-free hashing model: single-dirty-shard incremental rebuilds.
+REBUILD_EMBEDDING = "petsc-embed-small"
+
+
+def _questions() -> list[str]:
+    return [q.text for q in krylov_benchmark()]
+
+
+def _fast_config(num_shards: int = 0, *, scatter_workers: int = 0) -> ReproConfig:
+    return ReproConfig(
+        iterations_per_token=0,  # digests don't depend on the burn
+        sharding=ShardingConfig(
+            num_shards=num_shards, scatter_workers=scatter_workers
+        ),
+    )
+
+
+def _batch_digests(config: ReproConfig, bundle) -> dict:
+    """Cold-engine batch over the benchmark; its three digests."""
+    reg = MetricsRegistry()
+    engine = open_engine(config, bundle=bundle, registry=reg)
+    batch = engine.answer_many(_questions(), seed=SEED)
+    assert batch.answered_count == len(_questions())
+    return {
+        "answers": batch.answers_digest(),
+        "spans": batch.span_digest(),
+        "metrics_view": json.dumps(reg.deterministic_view(), sort_keys=True),
+    }
+
+
+def test_shard_count_digest_parity(bundle):
+    """Answers never depend on how the index is partitioned."""
+    mono = _batch_digests(_fast_config(0), bundle)
+    sweep = {n: _batch_digests(_fast_config(n), bundle) for n in SHARD_SWEEP}
+
+    answers = {mono["answers"]} | {s["answers"] for s in sweep.values()}
+    assert len(answers) == 1, f"answers digest moved with shard count: {answers}"
+    sharded_spans = {s["spans"] for s in sweep.values()}
+    assert len(sharded_spans) == 1, (
+        f"span digest moved with shard count: {sharded_spans}"
+    )
+
+    # Scatter-worker sweep and a same-seed rerun at a fixed shard count:
+    # all three digests (metrics included) must hold still.
+    fixed = sweep[PARITY_SHARDS]
+    for workers in SCATTER_SWEEP:
+        got = _batch_digests(
+            _fast_config(PARITY_SHARDS, scatter_workers=workers), bundle
+        )
+        assert got == fixed, f"digests moved at scatter_workers={workers}"
+    assert _batch_digests(_fast_config(PARITY_SHARDS), bundle) == fixed
+
+    _PARITY.update(
+        {
+            "monolithic": {"answers": mono["answers"], "spans": mono["spans"]},
+            "sharded": {
+                str(n): {"answers": s["answers"], "spans": s["spans"]}
+                for n, s in sweep.items()
+            },
+        }
+    )
+
+
+_PARITY: dict = {}
+
+
+def _edit_one_document(bundle) -> CorpusBundle:
+    """A copy of the corpus with exactly one document's text changed."""
+    docs = list(bundle.documents)
+    victim = docs[0]
+    docs[0] = Document(
+        text=victim.text + "\n\nNote: revised wording for the rebuild bench.",
+        metadata=dict(victim.metadata),
+    )
+    return CorpusBundle(
+        registry=bundle.registry,
+        documents=docs,
+        manual_page_names=dict(bundle.manual_page_names),
+    )
+
+
+def test_incremental_rebuild_speedup(bundle, tmp_path):
+    cfg = ReproConfig(
+        iterations_per_token=0,
+        retrieval=RetrievalConfig(embedding_model=REBUILD_EMBEDDING),
+        sharding=ShardingConfig(num_shards=REBUILD_SHARDS),
+    )
+    cache_dir = tmp_path / "shard-cache"
+
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        t0 = time.perf_counter()
+        cold = build_sharded_index(bundle, cfg, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - t0
+    assert reg.counter("repro.shard.builds").value == REBUILD_SHARDS
+    cold_digests = {s.digest for s in cold.shards}
+
+    # Monolithic full-rebuild reference over the same edited corpus.
+    edited = _edit_one_document(bundle)
+    clear_index_cache()
+    t0 = time.perf_counter()
+    get_or_build_index(edited, ReproConfig(
+        iterations_per_token=0,
+        retrieval=RetrievalConfig(embedding_model=REBUILD_EMBEDDING),
+    ))
+    mono_seconds = time.perf_counter() - t0
+
+    # Incremental sharded rebuild: in-process cache cleared so the three
+    # clean shards exercise the disk path, the dirty one rebuilds.
+    clear_index_cache()
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        t0 = time.perf_counter()
+        warm = build_sharded_index(edited, cfg, cache_dir=cache_dir)
+        incr_seconds = time.perf_counter() - t0
+    builds = reg.counter("repro.shard.builds").value
+    disk_hits = reg.counter("repro.shard.disk_hits").value
+    assert builds == 1, f"one edited document rebuilt {builds} shards, want 1"
+    assert disk_hits == REBUILD_SHARDS - 1
+    assert warm.digest != cold.digest  # the composite tracks the edit
+    assert len(cold_digests & {s.digest for s in warm.shards}) == REBUILD_SHARDS - 1
+
+    speedup = mono_seconds / incr_seconds
+    assert speedup >= 2.0, (
+        f"incremental rebuild {incr_seconds:.3f}s is only {speedup:.2f}x "
+        f"faster than a monolithic full rebuild {mono_seconds:.3f}s (need >= 2x)"
+    )
+
+    payload = {
+        "workload": {
+            "questions": len(_questions()),
+            "seed": SEED,
+            "shard_sweep": list(SHARD_SWEEP),
+            "scatter_sweep": list(SCATTER_SWEEP),
+            "rebuild_shards": REBUILD_SHARDS,
+            "rebuild_embedding": REBUILD_EMBEDDING,
+        },
+        "build": {
+            "cold_sharded_seconds": round(cold_seconds, 4),
+            "cold_shard_builds": REBUILD_SHARDS,
+        },
+        "incremental": {
+            "monolithic_full_rebuild_seconds": round(mono_seconds, 4),
+            "incremental_rebuild_seconds": round(incr_seconds, 4),
+            "speedup": round(speedup, 3),
+            "shard_builds": builds,
+            "shard_disk_hits": disk_hits,
+        },
+        "digests": _PARITY,
+    }
+    _OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\nparity: answers digest identical across monolithic + shards "
+        f"{SHARD_SWEEP}\n"
+        f"cold sharded build: {cold_seconds:.3f}s ({REBUILD_SHARDS} shards)\n"
+        f"monolithic full rebuild: {mono_seconds:.3f}s\n"
+        f"incremental rebuild:     {incr_seconds:.3f}s "
+        f"({builds} shard rebuilt, {disk_hits} disk hits) -> {speedup:.2f}x"
+    )

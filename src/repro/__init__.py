@@ -13,18 +13,38 @@ True
 
 Main entry points
 -----------------
+``open_engine``               the front door: ReproConfig → QueryEngine
+                              (sharded scatter-gather when configured)
+``ReproConfig``               root config nesting every subsystem's knobs
 ``build_default_corpus``      the synthetic PETSc knowledge base
 ``build_workflow``            corpus → RAG(+rerank) → LLM → postprocess
 ``build_rag_pipeline``        the bare pipeline in baseline/rag/rag+rerank mode
 ``build_support_system``      the full Discord/mailing-list topology (Fig. 5)
 ``krylov_benchmark``          the 37-question evaluation set
 ``run_experiment``            grade a pipeline over the benchmark
+
+The ``build_*`` helpers are compatibility wrappers over the
+:mod:`repro.api` facade (``open_engine`` / ``open_pipeline`` /
+``open_workflow`` / ``open_support_system``).
 """
 
-from repro.config import EngineConfig, RetrievalConfig, WorkflowConfig
+from repro.config import (
+    EngineConfig,
+    ReproConfig,
+    RetrievalConfig,
+    ShardingConfig,
+    WorkflowConfig,
+)
 from repro.corpus import build_default_corpus
-from repro.engine import QueryEngine
-from repro.index import IndexArtifact, get_or_build_index
+from repro.engine import QueryEngine, ShardedQueryEngine
+from repro.index import IndexArtifact, ShardedIndexArtifact, get_or_build_index
+from repro.api import (
+    open_engine,
+    open_pipeline,
+    open_support_system,
+    open_workflow,
+    resolve_artifact,
+)
 from repro.pipeline import AugmentedWorkflow, RAGPipeline, build_rag_pipeline, build_workflow
 from repro.bots import build_support_system
 from repro.evaluation import (
@@ -34,16 +54,25 @@ from repro.evaluation import (
     run_experiment,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EngineConfig",
+    "ReproConfig",
     "RetrievalConfig",
+    "ShardingConfig",
     "WorkflowConfig",
     "build_default_corpus",
     "IndexArtifact",
+    "ShardedIndexArtifact",
     "QueryEngine",
+    "ShardedQueryEngine",
     "get_or_build_index",
+    "open_engine",
+    "open_pipeline",
+    "open_support_system",
+    "open_workflow",
+    "resolve_artifact",
     "AugmentedWorkflow",
     "RAGPipeline",
     "build_rag_pipeline",

@@ -26,8 +26,6 @@ from repro.mail.appsscript import AppsScriptPoller
 from repro.mail.gmail import GmailAccount
 from repro.mail.mailinglist import MailingList
 from repro.mail.message import EmailMessage
-from repro.engine import QueryEngine
-from repro.pipeline.rag import build_rag_pipeline
 from repro.pipeline.types import PipelineMode
 from repro.resilience import FaultInjector, RetryPolicy
 
@@ -124,14 +122,17 @@ def build_support_system(
     store = InteractionStore()
     # Non-baseline bots serve through the shared index artifact; chaos
     # builds keep determinism because a fault injector disables the
-    # engine's answer cache.
+    # engine's answer cache.  Engine/pipeline plumbing lives behind the
+    # repro.api facade (which also picks sharded serving when configured).
+    from repro.api import open_engine, open_pipeline
+
     if PipelineMode.coerce(mode) is PipelineMode.BASELINE:
         engine = None
-        pipeline = build_rag_pipeline(
-            bundle, config, mode=mode, fault_injector=fault_injector
+        pipeline = open_pipeline(
+            config, bundle=bundle, mode=mode, fault_injector=fault_injector
         )
     else:
-        engine = QueryEngine.from_corpus(bundle, config, fault_injector=fault_injector)
+        engine = open_engine(config, bundle=bundle, fault_injector=fault_injector)
         pipeline = engine.pipeline(mode)
     chatbot = PetscChatbot(
         server, gateway, pipeline=pipeline, mailing_list=mailing_list,

@@ -40,9 +40,12 @@ facilitate various use cases."  This module is that CLI:
     keeping the longest intact record prefix and truncating any torn
     tail left by a crash mid-append.
 
-All question-answering commands serve through a shared
-:class:`~repro.engine.QueryEngine` over one cached index artifact, so a
-multi-command process builds the index exactly once.
+All question-answering commands serve through the engine
+:func:`repro.api.open_engine` returns, over one cached index artifact,
+so a multi-command process builds the index exactly once.  With the
+global ``--shards N`` flag the index is partitioned into N shards built
+in parallel and served scatter-gather — answers are byte-identical to
+the monolithic path.
 """
 
 from __future__ import annotations
@@ -55,10 +58,10 @@ from typing import Sequence
 
 from pathlib import Path
 
-from repro.config import AdmissionConfig, RetrievalConfig, WorkflowConfig
+from repro.api import open_engine, resolve_artifact
+from repro.config import AdmissionConfig, ReproConfig, RetrievalConfig, ShardingConfig
 from repro.corpus import CorpusBuilder, build_default_corpus
 from repro.durability import recover_journal, scan_journal
-from repro.engine import QueryEngine
 from repro.errors import ReproError
 from repro.embeddings import EMBEDDING_MODEL_NAMES
 from repro.evaluation import (
@@ -73,7 +76,7 @@ from repro.evaluation import (
 from repro.history import InteractionStore
 from repro.evaluation.casestudies import CASE_STUDY_1_QID, CASE_STUDY_2_QID, run_case_study
 from repro.evaluation.benchmark import krylov_benchmark
-from repro.index import get_or_build_index
+from repro.index import ShardedIndexArtifact
 from repro.llm import CHAT_MODEL_NAMES
 from repro.observability import MetricsRegistry, use_registry
 from repro.pipeline.rag import pipeline_from_artifact
@@ -100,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--fast", action="store_true", help="disable the LLM latency simulation"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve through a sharded index with N shards "
+             "(0 = monolithic; answers are identical either way)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -204,11 +212,12 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config(args: argparse.Namespace) -> WorkflowConfig:
-    return WorkflowConfig(
+def _config(args: argparse.Namespace) -> ReproConfig:
+    return ReproConfig(
         chat_model=args.model,
         retrieval=RetrievalConfig(embedding_model=args.embedding),
         iterations_per_token=0 if args.fast else None,
+        sharding=ShardingConfig(num_shards=args.shards),
     )
 
 
@@ -220,7 +229,7 @@ def _grader(bundle) -> BlindGrader:
 
 
 def cmd_ask(args: argparse.Namespace) -> int:
-    engine = QueryEngine.from_corpus(config=_config(args))
+    engine = open_engine(_config(args))
     result = engine.answer(args.question, mode=args.mode)
     print(result.answer)
     if args.show_contexts and result.contexts:
@@ -243,7 +252,7 @@ def cmd_ask(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
-    engine = QueryEngine.from_corpus(bundle, _config(args))
+    engine = open_engine(_config(args), bundle=bundle)
     run = run_experiment(engine.pipeline(args.mode), _grader(bundle))
     print(render_score_histogram(run, title=f"{args.mode} ({args.model} + {args.embedding})"))
     return 0
@@ -253,7 +262,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
     grader = _grader(bundle)
     # One engine serves all three modes from the same index artifact.
-    engine = QueryEngine.from_corpus(bundle, _config(args))
+    engine = open_engine(_config(args), bundle=bundle)
     runs = {
         mode: run_experiment(engine.pipeline(mode), grader) for mode in _MODES
     }
@@ -277,7 +286,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
 def cmd_casestudy(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
-    engine = QueryEngine.from_corpus(bundle, _config(args))
+    engine = open_engine(_config(args), bundle=bundle)
     rag = engine.pipeline("rag")
     rerank = engine.pipeline("rag+rerank")
     qid = CASE_STUDY_1_QID if args.number == 1 else CASE_STUDY_2_QID
@@ -321,7 +330,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     # cache counters vary with process history (first call builds,
     # later calls hit), and folding them into the measured registry
     # would break the same-workload digest-equality guarantee.
-    artifact = get_or_build_index(bundle, cfg)
+    artifact = resolve_artifact(bundle, cfg)
     registry = MetricsRegistry()
     traces = []
     with use_registry(registry):
@@ -342,6 +351,9 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     span_digest = hashlib.sha256(
         json.dumps([t.structure_digest() for t in traces]).encode()
     ).hexdigest()
+    shard_rows = (
+        artifact.shard_summaries() if isinstance(artifact, ShardedIndexArtifact) else []
+    )
     if args.json:
         payload = {
             "workload": {
@@ -356,9 +368,23 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             "spans": dict(sorted(span_counts.items())),
             "metrics": registry.deterministic_view(),
         }
+        if shard_rows:
+            payload["shards"] = {
+                "num_shards": len(shard_rows),
+                "composite_digest": artifact.digest,
+                "shards": shard_rows,
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(registry.render_text())
+        if shard_rows:
+            print(f"\nshards ({len(shard_rows)}, composite {artifact.digest[:12]}):")
+            for row in shard_rows:
+                print(
+                    f"  shard {row['shard']}: {row['chunks']:>4} chunks, "
+                    f"{row['vectors']:>4} vectors, {row['manual_pages']:>3} pages  "
+                    f"[{row['digest'][:12]}]"
+                )
         print(f"\nspans: {dict(sorted(span_counts.items()))}")
         print(f"metrics digest: {registry.digest()}")
         print(f"span digest:    {span_digest}")
@@ -400,7 +426,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             queue_timeout_seconds=args.queue_timeout,
         )
         arrivals = [i * args.arrival_interval for i in range(len(questions))]
-    engine = QueryEngine.from_corpus(config=config, registry=registry)
+    engine = open_engine(config, registry=registry)
     batch = engine.answer_many(
         questions, mode=args.mode, workers=args.workers, seed=args.seed,
         arrivals=arrivals,
@@ -451,7 +477,10 @@ def cmd_recover(args: argparse.Namespace) -> int:
         print(f"journal: {report.intact_count} records recovered")
     if report.truncated:
         action = "would drop" if args.dry_run else "dropped"
-        print(f"torn tail: {action} {report.dropped_bytes} bytes ({report.reason})")
+        print(
+            f"torn tail: {action} {report.dropped_bytes} bytes at offset "
+            f"{report.intact_bytes} ({report.reason})"
+        )
     else:
         print("journal clean: nothing to drop")
     print(json.dumps(report.summary(), indent=2, sort_keys=True))

@@ -1,8 +1,16 @@
-"""Configuration for the augmented PETSc LLM workflow."""
+"""Configuration for the augmented PETSc LLM workflow.
+
+:class:`ReproConfig` is the root: one dataclass nesting every
+subsystem's knobs (retrieval, resilience, observability, engine,
+admission, durability, sharding), with ``to_dict``/``from_dict``
+round-tripping so the CLI, tests, and embedders of the library stop
+threading six separate config objects.  ``WorkflowConfig`` is the
+historical name and remains as an alias.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 
 from repro.errors import ConfigurationError
 
@@ -243,8 +251,47 @@ class EngineConfig:
 
 
 @dataclass
-class WorkflowConfig:
-    """End-to-end workflow configuration."""
+class ShardingConfig:
+    """Knowledge-base sharding: deterministic partition + scatter-gather.
+
+    Documents are routed to shards by a stable hash of their source
+    path, each shard builds (and disk-caches) its own
+    :class:`~repro.index.IndexArtifact`, and retrieval fans out across
+    shards and merges top-k with a deterministic ``(score, doc_id)``
+    tie-break.  ``num_shards=0`` disables sharding entirely and keeps
+    the original monolithic index path byte-for-byte unchanged.
+    """
+
+    #: Number of index shards; 0 = monolithic (sharding disabled).
+    num_shards: int = 0
+    #: Worker-pool width for parallel per-shard index builds.
+    build_workers: int = 4
+    #: Worker-pool width for the per-query scatter across shards;
+    #: 0 probes shards sequentially (results are identical either way).
+    scatter_workers: int = 0
+
+    def validate(self) -> None:
+        if self.num_shards < 0:
+            raise ConfigurationError(f"num_shards must be >= 0, got {self.num_shards}")
+        if self.build_workers <= 0:
+            raise ConfigurationError(
+                f"build_workers must be positive, got {self.build_workers}"
+            )
+        if self.scatter_workers < 0:
+            raise ConfigurationError(
+                f"scatter_workers must be >= 0, got {self.scatter_workers}"
+            )
+
+
+@dataclass
+class ReproConfig:
+    """Root configuration nesting every subsystem's knobs.
+
+    This is the single object the public API (:func:`repro.api.open_engine`)
+    accepts; it round-trips through plain dicts via :meth:`to_dict` /
+    :meth:`from_dict` so configs can live in JSON/TOML files or test
+    parametrizations without touching the dataclass layer.
+    """
 
     chat_model: str = "gpt-4o-sim"
     retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
@@ -253,6 +300,7 @@ class WorkflowConfig:
     engine: EngineConfig = field(default_factory=EngineConfig)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
     #: Latency-burn override for the simulated model; None keeps the
     #: persona default, 0 disables the burn (unit tests).
     iterations_per_token: int | None = None
@@ -265,3 +313,60 @@ class WorkflowConfig:
         self.engine.validate()
         self.admission.validate()
         self.durability.validate()
+        self.sharding.validate()
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain nested dict (JSON-compatible)."""
+        return _section_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReproConfig":
+        """Build a config from a (possibly partial) nested dict.
+
+        Missing keys keep their defaults; unknown keys raise
+        :class:`~repro.errors.ConfigurationError` so typos do not pass
+        silently.
+        """
+        return _section_from_dict(cls, data, path="")
+
+
+def _section_to_dict(section) -> dict:
+    out = {}
+    for f in fields(section):
+        value = getattr(section, f.name)
+        if is_dataclass(value):
+            out[f.name] = _section_to_dict(value)
+        elif isinstance(value, dict):
+            out[f.name] = dict(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def _section_from_dict(cls, data, *, path: str):
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"config section {path or 'root'!r} must be a mapping, got {type(data).__name__}"
+        )
+    known = {f.name: f for f in fields(cls)}
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown config key(s) {unknown} in section {path or 'root'!r}"
+        )
+    section = cls()
+    for name, value in data.items():
+        current = getattr(section, name)
+        if is_dataclass(current):
+            child = _section_from_dict(
+                type(current), value, path=f"{path}.{name}" if path else name
+            )
+            setattr(section, name, child)
+        else:
+            setattr(section, name, value)
+    return section
+
+
+#: Historical name for :class:`ReproConfig`, kept as an alias so existing
+#: call sites (and ``isinstance`` checks) keep working unchanged.
+WorkflowConfig = ReproConfig

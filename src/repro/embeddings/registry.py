@@ -25,6 +25,21 @@ EMBEDDING_MODEL_NAMES: tuple[str, ...] = (
 )
 
 
+def is_corpus_fitted(name: str) -> bool:
+    """Whether a model's vectors depend on the corpus it was fitted over.
+
+    Corpus-fitted models couple every shard of a sharded index to the
+    full corpus (any document edit shifts the global IDF table, so all
+    shard caches go stale together); hashing models are corpus-free and
+    let a one-document edit dirty exactly one shard.
+    """
+    if name not in EMBEDDING_MODEL_NAMES:
+        raise EmbeddingError(
+            f"unknown embedding model {name!r}; known models: {', '.join(EMBEDDING_MODEL_NAMES)}"
+        )
+    return name == "petsc-embed-large"
+
+
 def create_embedding_model(
     name: str, *, corpus_texts: list[str] | None = None
 ) -> EmbeddingModel:

@@ -37,6 +37,10 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     if k <= 0:
         return np.empty(0, dtype=np.int64)
     part = np.argpartition(-scores, k - 1)[:k]
-    # Sort by (-score, index) for deterministic tie-breaking.
-    order = np.lexsort((part, -scores[part]))
-    return part[order]
+    # argpartition makes an arbitrary choice among elements tied at the
+    # k-th score, so widen to every index tied with that boundary score
+    # before the deterministic (-score, index) sort — otherwise top-k is
+    # not a prefix of top-(k+1) when ties straddle the cut.
+    cand = np.nonzero(scores >= scores[part].min())[0]
+    order = np.lexsort((cand, -scores[cand]))
+    return cand[order[:k]]

@@ -12,6 +12,7 @@ from repro.engine.caches import (
     LRUCache,
 )
 from repro.engine.engine import BatchItem, BatchResult, QueryEngine
+from repro.engine.sharded import ShardedQueryEngine
 
 __all__ = [
     "BatchItem",
@@ -22,4 +23,5 @@ __all__ = [
     "ContextBinder",
     "LRUCache",
     "QueryEngine",
+    "ShardedQueryEngine",
 ]

@@ -301,6 +301,17 @@ class QueryEngine:
             return self.registry
         return get_registry()
 
+    def _serving_store(self, mode: PipelineMode):
+        """The mutable store a pipeline for ``mode`` retrieves from.
+
+        Subclasses hook here: the sharded engine binds the forked store
+        to its request plumbing (context binder for scatter spans,
+        request-scoped metrics).
+        """
+        if mode is PipelineMode.BASELINE:
+            return None
+        return self.artifact.fork_store(embedding=self._query_embedding)
+
     def pipeline(self, mode: str | PipelineMode | None = None) -> RAGPipeline:
         """The engine's pipeline for ``mode``, built once and shared."""
         mode = PipelineMode.coerce(mode) if mode is not None else self.default_mode
@@ -308,9 +319,7 @@ class QueryEngine:
             existing = self._pipelines.get(mode)
             if existing is not None:
                 return existing
-            store = None
-            if mode is not PipelineMode.BASELINE:
-                store = self.artifact.fork_store(embedding=self._query_embedding)
+            store = self._serving_store(mode)
             pipeline = pipeline_from_artifact(
                 self.artifact,
                 self.config,

@@ -1,0 +1,95 @@
+"""Scatter-gather serving over a sharded index.
+
+:class:`ShardedQueryEngine` is a :class:`~repro.engine.engine.QueryEngine`
+whose artifact is a :class:`~repro.index.sharding.ShardedIndexArtifact`.
+Everything above retrieval is inherited unchanged — the batch
+coordinator, cache-transaction replay, admission ladder, and burn flush
+from PRs 3–4 neither know nor care that the store underneath fans out —
+which is exactly the digest argument: answers remain a pure function of
+(composite digest, questions, mode, seed, cache state), and the merge
+order ``(-score, doc_id)`` makes retrieval itself partition-invariant.
+
+The only subclass responsibilities are (a) binding the forked sharded
+store to the engine's request plumbing, so scatter spans land on the
+active request's tracer and ``repro.shard.*`` counters land in the
+request's registry scope, and (b) resolving the composite artifact in
+:meth:`from_corpus`.
+"""
+
+from __future__ import annotations
+
+from repro.config import WorkflowConfig
+from repro.corpus.builder import CorpusBundle, build_default_corpus
+from repro.engine.engine import QueryEngine
+from repro.errors import ConfigurationError
+from repro.index.sharding import ShardedIndexArtifact, get_or_build_sharded_index
+from repro.observability import MetricsRegistry
+from repro.pipeline.types import PipelineMode
+from repro.resilience.faults import FaultInjector
+
+
+class ShardedQueryEngine(QueryEngine):
+    """Batched question answering over N index shards."""
+
+    def __init__(
+        self,
+        artifact: ShardedIndexArtifact,
+        config: WorkflowConfig | None = None,
+        **kwargs,
+    ) -> None:
+        if not isinstance(artifact, ShardedIndexArtifact):
+            raise ConfigurationError(
+                "ShardedQueryEngine requires a ShardedIndexArtifact; "
+                "use QueryEngine for monolithic artifacts"
+            )
+        super().__init__(artifact, config, **kwargs)
+
+    @classmethod
+    def from_corpus(
+        cls,
+        bundle: CorpusBundle | None = None,
+        config: WorkflowConfig | None = None,
+        *,
+        fault_injector: FaultInjector | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "ShardedQueryEngine":
+        """Resolve the shared sharded artifact, then build the engine.
+
+        ``config.sharding.num_shards`` must be >= 1; callers that want
+        the monolithic path use :class:`QueryEngine` (the
+        :func:`repro.api.open_engine` facade picks for you).
+        """
+        config = config or WorkflowConfig()
+        if config.sharding.num_shards <= 0:
+            raise ConfigurationError(
+                "ShardedQueryEngine.from_corpus requires sharding.num_shards >= 1"
+            )
+        bundle = bundle or build_default_corpus()
+        artifact = get_or_build_sharded_index(bundle, config)
+        return cls(
+            artifact, config, fault_injector=fault_injector, registry=registry
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return self.artifact.num_shards
+
+    def _serving_store(self, mode: PipelineMode):
+        if mode is PipelineMode.BASELINE:
+            return None
+        fork = self.artifact.fork_store(embedding=self._query_embedding)
+        return fork.with_serving_context(
+            binder=self.binder,
+            registry_fn=self._metrics,
+            scatter_workers=self.config.sharding.scatter_workers,
+        )
+
+    def shard_summary(self) -> dict:
+        """Shard topology for operators (CLI ``repro metrics``)."""
+        artifact: ShardedIndexArtifact = self.artifact
+        return {
+            "num_shards": artifact.num_shards,
+            "composite_digest": artifact.digest,
+            "embedding_scope": artifact.fingerprint.get("embedding_scope"),
+            "shards": artifact.shard_summaries(),
+        }

@@ -62,26 +62,51 @@ def clear_index_cache() -> None:
         _artifacts.clear()
 
 
-def build_index(bundle: CorpusBundle, config: WorkflowConfig | None = None) -> IndexArtifact:
+def cached_artifact(digest: str) -> IndexArtifact | None:
+    """The in-process artifact for ``digest``, if one is cached."""
+    with _cache_lock:
+        return _artifacts.get(digest)
+
+
+def cache_artifact(artifact: IndexArtifact) -> IndexArtifact:
+    """Publish an artifact to the in-process cache; first writer wins."""
+    with _cache_lock:
+        return _artifacts.setdefault(artifact.digest, artifact)
+
+
+def build_index(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None = None,
+    *,
+    chunks: list[Document] | None = None,
+    embedding=None,
+    fingerprint: dict | None = None,
+) -> IndexArtifact:
     """Build an artifact from scratch: chunk → embed → store.
 
     This is the uncached path; callers almost always want
-    :func:`get_or_build_index`.
+    :func:`get_or_build_index`.  The sharded builder reuses it per shard
+    by supplying precomputed ``chunks``, a shared (globally fitted)
+    ``embedding``, and the shard-scoped ``fingerprint`` that keys the
+    shard's cache entry.
     """
     config = config or WorkflowConfig()
     rc = config.retrieval
     get_registry().counter("repro.index.builds").inc()
-    chunks = chunk_corpus(
-        bundle,
-        include_mail=rc.include_mail_archives,
-        chunk_size=rc.chunk_size,
-        chunk_overlap=rc.chunk_overlap,
-    )
-    embedding = create_embedding_model(
-        rc.embedding_model, corpus_texts=[c.text for c in chunks]
-    )
+    if chunks is None:
+        chunks = chunk_corpus(
+            bundle,
+            include_mail=rc.include_mail_archives,
+            chunk_size=rc.chunk_size,
+            chunk_overlap=rc.chunk_overlap,
+        )
+    if embedding is None:
+        embedding = create_embedding_model(
+            rc.embedding_model, corpus_texts=[c.text for c in chunks]
+        )
     store = VectorStore.from_documents(chunks, embedding)
-    fingerprint = config_fingerprint(config)
+    if fingerprint is None:
+        fingerprint = config_fingerprint(config)
     return IndexArtifact(
         digest=artifact_digest(corpus_digest(bundle), fingerprint),
         corpus_digest=corpus_digest(bundle),
@@ -127,21 +152,19 @@ def save_artifact(artifact: IndexArtifact, cache_dir: str | Path) -> Path:
     return root
 
 
-def load_artifact(
-    bundle: CorpusBundle,
-    config: WorkflowConfig | None,
-    cache_dir: str | Path,
-) -> IndexArtifact:
-    """Load the artifact for (bundle, config) from the disk cache.
+def read_cached_payload(
+    cache_dir: str | Path, digest: str, config: WorkflowConfig
+) -> tuple[Path, dict, list[Document]]:
+    """Verify and read the cache entry for ``digest``.
 
-    Raises :class:`IndexBuildError` on a miss, a digest mismatch, or a
-    corrupt entry — the caller decides whether to fall back to a build.
-    The embedding pass is skipped: saved chunk texts refit the embedding
-    model deterministically and the vectors load straight from npz.
+    Returns ``(store_dir, manifest, chunks)`` with payload checksums
+    verified (when configured) and chunk counts cross-checked; raises
+    :class:`IndexBuildError` on a miss or any corruption.  Restoring the
+    vector store itself is the caller's job — the monolithic loader
+    refits the embedding from the chunk texts, while the sharded loader
+    passes a prebuilt globally-fitted model instead.
     """
-    config = config or WorkflowConfig()
-    expected = compute_digest(bundle, config)
-    root = Path(cache_dir) / expected[:16]
+    root = Path(cache_dir) / digest[:16]
     manifest_path = root / _MANIFEST
     if not manifest_path.is_file():
         raise IndexBuildError(f"no cached artifact under {root}")
@@ -149,9 +172,9 @@ def load_artifact(
         manifest = json.loads(manifest_path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise IndexBuildError(f"unreadable artifact manifest {manifest_path}: {exc}") from exc
-    if manifest.get("digest") != expected:
+    if manifest.get("digest") != digest:
         raise IndexBuildError(
-            f"cached artifact digest {manifest.get('digest')!r} != expected {expected!r}"
+            f"cached artifact digest {manifest.get('digest')!r} != expected {digest!r}"
         )
     store_dir = root / _STORE_DIR
     checksums = manifest.get("payload_checksums")
@@ -183,6 +206,24 @@ def load_artifact(
             f"cached store holds {len(chunks)} chunks, manifest says "
             f"{manifest.get('chunk_count')}"
         )
+    return store_dir, manifest, chunks
+
+
+def load_artifact(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None,
+    cache_dir: str | Path,
+) -> IndexArtifact:
+    """Load the artifact for (bundle, config) from the disk cache.
+
+    Raises :class:`IndexBuildError` on a miss, a digest mismatch, or a
+    corrupt entry — the caller decides whether to fall back to a build.
+    The embedding pass is skipped: saved chunk texts refit the embedding
+    model deterministically and the vectors load straight from npz.
+    """
+    config = config or WorkflowConfig()
+    expected = compute_digest(bundle, config)
+    store_dir, _manifest, chunks = read_cached_payload(cache_dir, expected, config)
     try:
         embedding = create_embedding_model(
             config.retrieval.embedding_model, corpus_texts=[c.text for c in chunks]

@@ -458,6 +458,28 @@ def pipeline_from_artifact(
     )
 
 
+def baseline_pipeline(
+    bundle: CorpusBundle,
+    config: WorkflowConfig | None = None,
+    *,
+    fault_injector: FaultInjector | None = None,
+) -> RAGPipeline:
+    """A retrieval-free pipeline: no index, keyword search + LLM only."""
+    config = config or WorkflowConfig()
+    policy, breaker, deadline_seconds, metrics = _resilience_parts(config)
+    keyword = ManualPageKeywordSearch(bundle)
+    chat = _chat_model(
+        config, registry=bundle.registry, keyword=keyword, fault_injector=fault_injector
+    )
+    return RAGPipeline(
+        chat,
+        retry_policy=policy,
+        breaker=breaker,
+        deadline_seconds=deadline_seconds,
+        metrics=metrics,
+    )
+
+
 def build_rag_pipeline(
     bundle: CorpusBundle,
     config: WorkflowConfig | None = None,
@@ -467,35 +489,16 @@ def build_rag_pipeline(
 ) -> RAGPipeline:
     """Construct a pipeline over the corpus in one of the three modes.
 
-    Compatibility wrapper: retrieval modes resolve the shared
-    :class:`~repro.index.IndexArtifact` through
-    :func:`repro.index.get_or_build_index` (one build per process per
-    (corpus, config) digest) and delegate to
-    :func:`pipeline_from_artifact`.  Baseline needs no index and is
-    assembled directly.  ``mode`` accepts a :class:`PipelineMode` or its
-    wire string (``"baseline"``, ``"rag"``, ``"rag+rerank"``);
+    Compatibility wrapper: delegates to :func:`repro.api.open_pipeline`,
+    which resolves the shared (possibly sharded)
+    :class:`~repro.index.IndexArtifact` and assembles the pipeline
+    around it.  ``mode`` accepts a :class:`PipelineMode` or its wire
+    string (``"baseline"``, ``"rag"``, ``"rag+rerank"``);
     ``fault_injector`` chaos-wraps the chat model, retriever, and
     reranker hops for reproducible failure testing.
     """
-    from repro.index import get_or_build_index
+    from repro.api import open_pipeline
 
-    config = config or WorkflowConfig()
-    config.validate()
-    mode = PipelineMode.coerce(mode)
-    if mode is PipelineMode.BASELINE:
-        policy, breaker, deadline_seconds, metrics = _resilience_parts(config)
-        keyword = ManualPageKeywordSearch(bundle)
-        chat = _chat_model(
-            config, registry=bundle.registry, keyword=keyword, fault_injector=fault_injector
-        )
-        return RAGPipeline(
-            chat,
-            retry_policy=policy,
-            breaker=breaker,
-            deadline_seconds=deadline_seconds,
-            metrics=metrics,
-        )
-    artifact = get_or_build_index(bundle, config)
-    return pipeline_from_artifact(
-        artifact, config, mode=mode, fault_injector=fault_injector
+    return open_pipeline(
+        config, bundle=bundle, mode=mode, fault_injector=fault_injector
     )

@@ -6,9 +6,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.config import WorkflowConfig
-from repro.corpus.builder import CorpusBundle, build_default_corpus
+from repro.corpus.builder import CorpusBundle
 from repro.history import InteractionStore
-from repro.pipeline.rag import PipelineResult, RAGPipeline, build_rag_pipeline
+from repro.pipeline.rag import PipelineResult, RAGPipeline
 from repro.pipeline.types import PipelineMode
 
 if TYPE_CHECKING:
@@ -119,36 +119,12 @@ def build_workflow(
 ) -> AugmentedWorkflow:
     """One-call construction of the complete workflow.
 
-    Non-baseline workflows are served through a :class:`QueryEngine`
-    over the shared index artifact, so a workflow, the CLI, and the bots
-    running in one process all warm-start from a single build.
+    Compatibility wrapper: delegates to :func:`repro.api.open_workflow`.
+    Non-baseline workflows are served through the engine
+    :func:`repro.api.open_engine` returns (sharded when configured), so
+    a workflow, the CLI, and the bots running in one process all
+    warm-start from a single build.
     """
-    from repro.engine import QueryEngine
+    from repro.api import open_workflow
 
-    bundle = bundle or build_default_corpus()
-    config = config or WorkflowConfig()
-    mode = PipelineMode.coerce(mode)
-    if mode is PipelineMode.BASELINE:
-        engine = None
-        pipeline = build_rag_pipeline(bundle, config, mode=mode)
-    else:
-        engine = QueryEngine.from_corpus(bundle, config)
-        pipeline = engine.pipeline(mode)
-    workflow = AugmentedWorkflow(
-        bundle,
-        pipeline,
-        engine=engine,
-        store=store,
-        embedding_model=(
-            config.retrieval.embedding_model if mode is not PipelineMode.BASELINE else ""
-        ),
-        record_history=config.record_history,
-        record_traces=config.observability.record_traces,
-    )
-    if config.durability.history_journal and workflow.store.journal is None:
-        # Every recorded interaction becomes durable the moment it lands;
-        # `repro recover` rebuilds the store from this journal after a crash.
-        workflow.store.attach_journal(
-            config.durability.history_journal, fsync=config.durability.fsync
-        )
-    return workflow
+    return open_workflow(config, bundle=bundle, mode=mode, store=store)

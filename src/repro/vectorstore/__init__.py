@@ -12,14 +12,22 @@ ablation.
 from repro.vectorstore.filters import matches_where
 from repro.vectorstore.index import BruteForceIndex, IVFIndex, VectorIndex
 from repro.vectorstore.store import VectorStore
+from repro.vectorstore.sharded import (
+    ShardedVectorStore,
+    shard_for_document,
+    shard_for_source,
+)
 from repro.vectorstore.catalog import CatalogRetriever, DatabaseCatalog
 
 __all__ = [
     "VectorStore",
+    "ShardedVectorStore",
     "VectorIndex",
     "BruteForceIndex",
     "IVFIndex",
     "matches_where",
+    "shard_for_document",
+    "shard_for_source",
     "DatabaseCatalog",
     "CatalogRetriever",
 ]

@@ -1,0 +1,267 @@
+"""Scatter-gather vector search over deterministically partitioned shards.
+
+The planner routes every document to a shard by a stable hash of its
+``source`` metadata (:func:`shard_for_source`), so a given corpus always
+partitions the same way across processes and runs.  At query time the
+composite store embeds the query **once**, probes every shard by vector,
+and merges the per-shard top-k under the total order ``(-score,
+doc_id)``.
+
+Partition invariance is the load-bearing property: the merged top-k must
+be the same list for 1, 2, 4, or 8 shards.  Two details make that hold
+exactly rather than approximately:
+
+* Per-shard candidate lists are re-sorted by ``(-score, doc_id)`` before
+  the merge — the brute-force index breaks score ties by insertion row,
+  which is a per-shard accident.
+* When a shard's k-th score ties with candidates beyond the fetch
+  boundary, the fetch width doubles until the boundary score strictly
+  separates (or the shard is exhausted), so no tied candidate that could
+  win the global ``doc_id`` tie-break is left unfetched.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.documents import Document
+from repro.embeddings.base import EmbeddingModel
+from repro.errors import VectorStoreError
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.utils.rng import stable_hash
+from repro.vectorstore.store import VectorStore, mmr_search
+
+if TYPE_CHECKING:
+    from repro.engine.caches import ContextBinder
+
+#: Hash namespace for the shard planner; changing it repartitions every
+#: corpus, so it is part of the sharded-artifact digest contract.
+SHARD_NAMESPACE = "shard-planner"
+
+
+def shard_for_source(source: str, num_shards: int) -> int:
+    """The shard a source path routes to: stable hash, mod shard count."""
+    if num_shards <= 0:
+        raise VectorStoreError(f"num_shards must be positive, got {num_shards}")
+    return stable_hash(str(source), namespace=SHARD_NAMESPACE) % num_shards
+
+
+def shard_for_document(doc: Document, num_shards: int) -> int:
+    """Route a document by its ``source`` metadata (doc_id when absent).
+
+    Chunks inherit their parent document's ``source``, so every chunk of
+    one source page lands on the same shard as the page itself.
+    """
+    source = doc.metadata.get("source")
+    key = str(source) if source else doc.doc_id
+    return shard_for_source(key, num_shards)
+
+
+def _shard_top_k(
+    store: VectorStore, qvec: np.ndarray, k: int, where: dict | None
+) -> list[tuple[Document, float]]:
+    """One shard's top-k under the global ``(-score, doc_id)`` order."""
+    fetch = k
+    while True:
+        hits = store.similarity_search_by_vector_with_score(qvec, k=fetch, where=where)
+        exhausted = len(hits) < fetch
+        boundary_clear = len(hits) > k and hits[-1][1] < hits[k - 1][1]
+        if exhausted or boundary_clear:
+            break
+        fetch *= 2
+    hits.sort(key=lambda pair: (-pair[1], pair[0].doc_id))
+    return hits[:k]
+
+
+class ShardedVectorStore:
+    """N per-shard :class:`VectorStore`\\ s behind the VectorStore surface.
+
+    Queries scatter across shards (optionally on a thread pool) and
+    gather under a deterministic merge; mutations route each document to
+    its planner-assigned shard.  Search results are identical whether
+    the scatter runs sequentially or on any number of workers.
+    """
+
+    def __init__(
+        self,
+        shards: list[VectorStore],
+        embedding: EmbeddingModel,
+        *,
+        collection_name: str = "petsc-docs-sharded",
+        scatter_workers: int = 0,
+        binder: "ContextBinder | None" = None,
+        registry_fn: Callable[[], MetricsRegistry] | None = None,
+    ) -> None:
+        if not shards:
+            raise VectorStoreError("a sharded store needs at least one shard")
+        for i, shard in enumerate(shards):
+            if shard.embedding.dim != embedding.dim:
+                raise VectorStoreError(
+                    f"shard {i} dim {shard.embedding.dim} != embedding dim {embedding.dim}"
+                )
+        self.shards = list(shards)
+        self.embedding = embedding
+        self.collection_name = collection_name
+        self.scatter_workers = scatter_workers
+        self.binder = binder
+        self._registry_fn = registry_fn if registry_fn is not None else get_registry
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------ search
+    def similarity_search_with_score(
+        self,
+        query: str,
+        *,
+        k: int = 4,
+        where: dict | None = None,
+    ) -> list[tuple[Document, float]]:
+        """Scatter the query across shards, gather a deterministic top-k."""
+        if k <= 0:
+            return []
+        registry = self._registry_fn()
+        registry.counter("repro.shard.queries").inc()
+        registry.counter("repro.shard.probes").inc(self.num_shards)
+        qvec = self.embedding.embed_query(query)
+        ctx = self.binder.ctx if self.binder is not None else None
+        if ctx is not None and ctx.tracer._stack:
+            # One constant-named child span regardless of shard count:
+            # shard details ride in attributes, which the span-structure
+            # digest excludes, so the digest contract holds at any N.
+            with ctx.tracer.span("scatter", shards=self.num_shards, k=k) as span:
+                merged = self._scatter(qvec, k, where)
+                span.attributes["candidates"] = len(merged)
+        else:
+            merged = self._scatter(qvec, k, where)
+        merged.sort(key=lambda pair: (-pair[1], pair[0].doc_id))
+        out = merged[:k]
+        registry.counter("repro.shard.merged").inc(len(out))
+        return out
+
+    def _scatter(
+        self, qvec: np.ndarray, k: int, where: dict | None
+    ) -> list[tuple[Document, float]]:
+        if self.scatter_workers > 1 and self.num_shards > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.scatter_workers, self.num_shards)
+            ) as pool:
+                per_shard = list(
+                    pool.map(lambda s: _shard_top_k(s, qvec, k, where), self.shards)
+                )
+        else:
+            per_shard = [_shard_top_k(s, qvec, k, where) for s in self.shards]
+        return [hit for hits in per_shard for hit in hits]
+
+    def similarity_search(
+        self, query: str, *, k: int = 4, where: dict | None = None
+    ) -> list[Document]:
+        return [doc for doc, _ in self.similarity_search_with_score(query, k=k, where=where)]
+
+    def max_marginal_relevance_search(
+        self,
+        query: str,
+        *,
+        k: int = 4,
+        fetch_k: int = 20,
+        lambda_mult: float = 0.5,
+        where: dict | None = None,
+    ) -> list[Document]:
+        return mmr_search(
+            self, query, k=k, fetch_k=fetch_k, lambda_mult=lambda_mult, where=where
+        )
+
+    # ------------------------------------------------------------ mutation
+    def add_documents(self, documents: list[Document]) -> list[str]:
+        """Route each document to its planner shard; returns added ids
+        in input order."""
+        by_shard: dict[int, list[Document]] = {}
+        for doc in documents:
+            by_shard.setdefault(shard_for_document(doc, self.num_shards), []).append(doc)
+        added: set[str] = set()
+        for shard_idx in sorted(by_shard):
+            added.update(self.shards[shard_idx].add_documents(by_shard[shard_idx]))
+        if added:
+            self._registry_fn().counter("repro.shard.adds").inc(len(added))
+        out: list[str] = []
+        for doc in documents:
+            if doc.doc_id in added:
+                out.append(doc.doc_id)
+                added.discard(doc.doc_id)
+        return out
+
+    def delete(self, ids: list[str]) -> int:
+        return sum(shard.delete(ids) for shard in self.shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def get(self, doc_id: str) -> Document:
+        for shard in self.shards:
+            try:
+                return shard.get(doc_id)
+            except VectorStoreError:
+                continue
+        raise VectorStoreError(f"unknown document id {doc_id!r}")
+
+    # ------------------------------------------------------------ sharing
+    def fork(
+        self, *, embedding: EmbeddingModel | None = None
+    ) -> "ShardedVectorStore":
+        """Copy-on-write fork of every shard (see :meth:`VectorStore.fork`).
+
+        The fork's query embedding (typically a caching wrapper) applies
+        at the composite layer — shards are probed by vector, so the
+        query is embedded once per search regardless of shard count.
+        """
+        emb = embedding if embedding is not None else self.embedding
+        if emb.dim != self.embedding.dim:
+            raise VectorStoreError(
+                f"fork embedding dim {emb.dim} != store dim {self.embedding.dim}"
+            )
+        return ShardedVectorStore(
+            [shard.fork() for shard in self.shards],
+            emb,
+            collection_name=self.collection_name,
+            scatter_workers=self.scatter_workers,
+            binder=self.binder,
+            registry_fn=self._registry_fn,
+        )
+
+    def with_serving_context(
+        self,
+        *,
+        binder: "ContextBinder | None" = None,
+        registry_fn: Callable[[], MetricsRegistry] | None = None,
+        scatter_workers: int | None = None,
+    ) -> "ShardedVectorStore":
+        """A view bound to an engine's request plumbing (binder/metrics)."""
+        clone = ShardedVectorStore(
+            self.shards,
+            self.embedding,
+            collection_name=self.collection_name,
+            scatter_workers=(
+                scatter_workers if scatter_workers is not None else self.scatter_workers
+            ),
+            binder=binder if binder is not None else self.binder,
+            registry_fn=registry_fn if registry_fn is not None else self._registry_fn,
+        )
+        return clone
+
+    # ------------------------------------------------------------ persistence
+    def save(self, directory) -> None:
+        raise VectorStoreError(
+            "sharded stores persist per shard through the index disk cache, "
+            "not VectorStore.save"
+        )
+
+    @classmethod
+    def load(cls, directory, embedding) -> "ShardedVectorStore":
+        raise VectorStoreError(
+            "sharded stores load per shard through the index disk cache, "
+            "not VectorStore.load"
+        )

@@ -16,6 +16,40 @@ from repro.vectorstore.filters import matches_where
 from repro.vectorstore.index import BruteForceIndex, VectorIndex
 
 
+def mmr_search(
+    store,
+    query: str,
+    *,
+    k: int = 4,
+    fetch_k: int = 20,
+    lambda_mult: float = 0.5,
+    where: dict | None = None,
+) -> list[Document]:
+    """MMR selection over any store exposing the VectorStore search surface."""
+    if not 0.0 <= lambda_mult <= 1.0:
+        raise VectorStoreError(f"lambda_mult must be in [0, 1], got {lambda_mult}")
+    candidates = store.similarity_search_with_score(query, k=max(fetch_k, k), where=where)
+    if not candidates:
+        return []
+    qvec = store.embedding.embed_query(query)
+    cand_vecs = store.embedding.embed_documents([d.text for d, _ in candidates])
+    rel = cand_vecs @ qvec
+    selected: list[int] = []
+    remaining = list(range(len(candidates)))
+    while remaining and len(selected) < k:
+        if not selected:
+            best = max(remaining, key=lambda i: rel[i])
+        else:
+            sel_mat = cand_vecs[selected]
+            # Max similarity of each remaining candidate to the picks.
+            redundancy = (cand_vecs[remaining] @ sel_mat.T).max(axis=1)
+            mmr = lambda_mult * rel[remaining] - (1.0 - lambda_mult) * redundancy
+            best = remaining[int(np.argmax(mmr))]
+        selected.append(best)
+        remaining.remove(best)
+    return [candidates[i][0] for i in selected]
+
+
 class VectorStore:
     """A Chroma-shaped collection of embedded documents.
 
@@ -117,6 +151,24 @@ class VectorStore:
         if k <= 0:
             return []
         qvec = self.embedding.embed_query(query)
+        return self.similarity_search_by_vector_with_score(qvec, k=k, where=where)
+
+    def similarity_search_by_vector_with_score(
+        self,
+        qvec: np.ndarray,
+        *,
+        k: int = 4,
+        where: dict | None = None,
+    ) -> list[tuple[Document, float]]:
+        """Top-k documents for an already-embedded query vector.
+
+        This is the scatter primitive for sharded search: the composite
+        store embeds the query once and probes every shard by vector, so
+        embedding cost (and the embedding cache) stays per-query rather
+        than per-shard.
+        """
+        if k <= 0:
+            return []
         fetch = k if (where is None and not self._deleted) else max(4 * k, 32)
         while True:
             idx, scores = self.index.search(qvec, fetch)
@@ -148,28 +200,9 @@ class VectorStore:
         where: dict | None = None,
     ) -> list[Document]:
         """MMR search: trade off query relevance against mutual diversity."""
-        if not 0.0 <= lambda_mult <= 1.0:
-            raise VectorStoreError(f"lambda_mult must be in [0, 1], got {lambda_mult}")
-        candidates = self.similarity_search_with_score(query, k=max(fetch_k, k), where=where)
-        if not candidates:
-            return []
-        qvec = self.embedding.embed_query(query)
-        cand_vecs = self.embedding.embed_documents([d.text for d, _ in candidates])
-        rel = cand_vecs @ qvec
-        selected: list[int] = []
-        remaining = list(range(len(candidates)))
-        while remaining and len(selected) < k:
-            if not selected:
-                best = max(remaining, key=lambda i: rel[i])
-            else:
-                sel_mat = cand_vecs[selected]
-                # Max similarity of each remaining candidate to the picks.
-                redundancy = (cand_vecs[remaining] @ sel_mat.T).max(axis=1)
-                mmr = lambda_mult * rel[remaining] - (1.0 - lambda_mult) * redundancy
-                best = remaining[int(np.argmax(mmr))]
-            selected.append(best)
-            remaining.remove(best)
-        return [candidates[i][0] for i in selected]
+        return mmr_search(
+            self, query, k=k, fetch_k=fetch_k, lambda_mult=lambda_mult, where=where
+        )
 
     # ------------------------------------------------------------ sharing
     def fork(self, *, embedding: EmbeddingModel | None = None) -> "VectorStore":

@@ -1,0 +1,188 @@
+"""Snapshot tests for the consolidated public API surface.
+
+The point of ``repro.api`` is that the public surface stops drifting:
+``repro.__all__``, the facade signatures, and the ``ReproConfig``
+round-trip are contracts.  A failure here means a PR changed the public
+API — update the snapshot *deliberately* or revert the change.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+from repro.config import ReproConfig, ShardingConfig, WorkflowConfig
+from repro.errors import ConfigurationError
+
+#: The public surface.  Additions belong at the right spot in this list
+#: (and in ``repro/__init__.py``); removals are breaking changes.
+PUBLIC_API = [
+    "EngineConfig",
+    "ReproConfig",
+    "RetrievalConfig",
+    "ShardingConfig",
+    "WorkflowConfig",
+    "build_default_corpus",
+    "IndexArtifact",
+    "ShardedIndexArtifact",
+    "QueryEngine",
+    "ShardedQueryEngine",
+    "get_or_build_index",
+    "open_engine",
+    "open_pipeline",
+    "open_support_system",
+    "open_workflow",
+    "resolve_artifact",
+    "AugmentedWorkflow",
+    "RAGPipeline",
+    "build_rag_pipeline",
+    "build_workflow",
+    "build_support_system",
+    "BlindGrader",
+    "compare_modes",
+    "krylov_benchmark",
+    "run_experiment",
+    "__version__",
+]
+
+
+class TestPublicSurface:
+    def test_all_snapshot(self):
+        assert repro.__all__ == PUBLIC_API
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_open_engine_signature(self):
+        params = inspect.signature(repro.open_engine).parameters
+        assert list(params) == ["config", "bundle", "fault_injector", "registry"]
+        assert params["config"].default is None
+        assert params["config"].kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+        for name in ("bundle", "fault_injector", "registry"):
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+            assert params[name].default is None
+
+    def test_open_pipeline_and_workflow_signatures(self):
+        pipeline = inspect.signature(repro.open_pipeline).parameters
+        assert list(pipeline) == ["config", "bundle", "mode", "fault_injector"]
+        workflow = inspect.signature(repro.open_workflow).parameters
+        assert list(workflow) == ["config", "bundle", "mode", "store"]
+
+    def test_repro_config_fields(self):
+        import dataclasses
+
+        names = [f.name for f in dataclasses.fields(ReproConfig)]
+        # New sections append; existing sections are load-bearing.
+        for required in (
+            "chat_model",
+            "retrieval",
+            "resilience",
+            "engine",
+            "admission",
+            "durability",
+            "observability",
+            "sharding",
+        ):
+            assert required in names, required
+
+    def test_workflow_config_is_repro_config(self):
+        # Pre-facade name: must stay importable and identical.
+        assert WorkflowConfig is ReproConfig
+
+
+class TestReproConfigRoundTrip:
+    def test_to_dict_from_dict_round_trip(self):
+        cfg = ReproConfig(
+            chat_model="gpt-4o-sim",
+            iterations_per_token=0,
+            sharding=ShardingConfig(num_shards=4, scatter_workers=2),
+        )
+        clone = ReproConfig.from_dict(cfg.to_dict())
+        assert clone == cfg
+        assert clone.to_dict() == cfg.to_dict()
+
+    def test_from_dict_partial_keeps_defaults(self):
+        cfg = ReproConfig.from_dict({"sharding": {"num_shards": 2}})
+        assert cfg.sharding.num_shards == 2
+        assert cfg.sharding.build_workers == ShardingConfig().build_workers
+        assert cfg.chat_model == ReproConfig().chat_model
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown config key"):
+            ReproConfig.from_dict({"shardingg": {}})
+        with pytest.raises(ConfigurationError, match="sharding"):
+            ReproConfig.from_dict({"sharding": {"num_shard": 1}})
+
+
+class TestWrapperDelegation:
+    """The pre-facade builders are thin wrappers over repro.api."""
+
+    def test_build_workflow_delegates(self, monkeypatch, bundle, fast_config):
+        import repro.api as api
+        from repro.pipeline import build_workflow
+
+        calls = {}
+        real = api.open_workflow
+
+        def recording(config=None, **kwargs):
+            calls["config"] = config
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(api, "open_workflow", recording)
+        wf = build_workflow(bundle, fast_config, mode="rag")
+        assert calls["config"] is fast_config
+        from repro.pipeline.workflow import AugmentedWorkflow
+
+        assert isinstance(wf, AugmentedWorkflow)
+        assert wf.pipeline.mode.value == "rag"
+
+    def test_build_rag_pipeline_delegates(self, monkeypatch, bundle, fast_config):
+        import repro.api as api
+        from repro.pipeline import build_rag_pipeline
+
+        calls = {}
+        real = api.open_pipeline
+
+        def recording(config=None, **kwargs):
+            calls["config"] = config
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(api, "open_pipeline", recording)
+        pipe = build_rag_pipeline(bundle, fast_config, mode="baseline")
+        assert calls["config"] is fast_config
+        from repro.pipeline.rag import RAGPipeline
+
+        assert isinstance(pipe, RAGPipeline)
+        assert pipe.mode.value == "baseline"
+
+    def test_build_support_system_uses_open_engine(
+        self, monkeypatch, bundle, fast_config
+    ):
+        import repro.api as api
+        from repro.bots import build_support_system
+
+        calls = {}
+        real = api.open_engine
+
+        def recording(config=None, **kwargs):
+            calls["config"] = config
+            return real(config, **kwargs)
+
+        monkeypatch.setattr(api, "open_engine", recording)
+        system = build_support_system(bundle, fast_config)
+        assert calls["config"] is fast_config
+        assert system.chatbot.pipeline is not None
+
+    def test_open_engine_sharded_support_system(self, bundle):
+        # The facade threads sharding through to the bots' engine.
+        from repro.bots import build_support_system
+        from repro.engine import ShardedQueryEngine
+
+        cfg = ReproConfig(
+            iterations_per_token=0, sharding=ShardingConfig(num_shards=2)
+        )
+        system = build_support_system(bundle, cfg)
+        assert isinstance(system.chatbot.engine, ShardedQueryEngine)

@@ -76,3 +76,58 @@ class TestHistoryFeedback:
         wf = build_workflow(bundle, fast_config, mode="baseline")
         wf.ask("anything")
         assert wf.feed_history_into_rag() == 0
+
+
+class TestShardedCli:
+    def test_ask_answers_match_monolithic(self, capsys):
+        q = "What is the default KSP type?"
+        assert main(["--fast", "ask", q]) == 0
+        mono = capsys.readouterr().out
+        assert main(["--fast", "--shards", "2", "ask", q]) == 0
+        assert capsys.readouterr().out == mono
+
+    def test_metrics_json_reports_shards(self, capsys):
+        import json
+
+        rc = main(["--fast", "--shards", "2", "metrics", "--questions", "1", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"]["num_shards"] == 2
+        assert len(payload["shards"]["shards"]) == 2
+        assert {r["shard"] for r in payload["shards"]["shards"]} == {0, 1}
+
+    def test_metrics_text_omits_shards_when_monolithic(self, capsys):
+        rc = main(["--fast", "metrics", "--questions", "1"])
+        assert rc == 0
+        assert "shards (" not in capsys.readouterr().out
+
+
+class TestRecoverCli:
+    def test_dry_run_reports_torn_tail_offset(self, tmp_path, capsys):
+        from repro.durability import Journal
+
+        path = tmp_path / "j.log"
+        with Journal(path) as journal:
+            journal.append({"op": "push", "letter": {"n": 1}})
+        intact = len(path.read_bytes())
+        path.write_bytes(path.read_bytes() + b"J1 torn")
+        rc = main(["recover", str(path), "--dry-run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"would drop 7 bytes at offset {intact}" in out
+        # Dry run: the torn tail is still on disk.
+        assert len(path.read_bytes()) == intact + 7
+
+    def test_recover_truncates_at_reported_offset(self, tmp_path, capsys):
+        from repro.durability import Journal
+
+        path = tmp_path / "j.log"
+        with Journal(path) as journal:
+            journal.append({"op": "push", "letter": {"n": 1}})
+        intact = len(path.read_bytes())
+        path.write_bytes(path.read_bytes() + b"J1 torn")
+        rc = main(["recover", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"dropped 7 bytes at offset {intact}" in out
+        assert len(path.read_bytes()) == intact

@@ -1,0 +1,247 @@
+"""Tests for the sharded index: planner, scatter-gather store, engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import open_engine
+from repro.config import ReproConfig, RetrievalConfig, ShardingConfig
+from repro.corpus.builder import CorpusBundle
+from repro.documents import Document
+from repro.embeddings import HashingEmbedding
+from repro.engine import QueryEngine, ShardedQueryEngine
+from repro.errors import ConfigurationError, VectorStoreError
+from repro.index import (
+    ShardedIndexArtifact,
+    build_sharded_index,
+    clear_index_cache,
+    composite_digest,
+    get_or_build_sharded_index,
+    plan_shards,
+)
+from repro.observability import MetricsRegistry, use_registry
+from repro.vectorstore import (
+    ShardedVectorStore,
+    VectorStore,
+    shard_for_document,
+    shard_for_source,
+)
+
+
+def _cfg(num_shards, *, embedding="petsc-embed-large", scatter_workers=0):
+    return ReproConfig(
+        iterations_per_token=0,
+        retrieval=RetrievalConfig(embedding_model=embedding),
+        sharding=ShardingConfig(
+            num_shards=num_shards, scatter_workers=scatter_workers
+        ),
+    )
+
+
+class TestPlanner:
+    def test_partition_is_complete_and_disjoint(self, bundle):
+        plan = plan_shards(bundle, _cfg(4))
+        assert plan.num_shards == 4
+        total = sum(len(s.bundle.documents) for s in plan.shards)
+        assert total == len(bundle.documents)
+        all_ids = [d.doc_id for s in plan.shards for d in s.bundle.documents]
+        assert len(all_ids) == len(set(all_ids))
+        pages = sum(len(s.bundle.manual_page_names) for s in plan.shards)
+        assert pages == len(bundle.manual_page_names)
+
+    def test_plan_is_deterministic(self, bundle):
+        a = plan_shards(bundle, _cfg(4))
+        b = plan_shards(bundle, _cfg(4))
+        assert [s.digest for s in a.shards] == [s.digest for s in b.shards]
+        assert a.composite == b.composite
+
+    def test_routing_is_stable_by_source(self):
+        doc = Document(text="x", metadata={"source": "docs/ksp.md"})
+        assert shard_for_document(doc, 8) == shard_for_source("docs/ksp.md", 8)
+        # Content edits never move a document to another shard.
+        edited = Document(text="y", metadata={"source": "docs/ksp.md"})
+        assert shard_for_document(edited, 8) == shard_for_document(doc, 8)
+
+    def test_composite_digest_is_order_independent(self):
+        assert composite_digest(["b", "a"]) == composite_digest(["a", "b"])
+        assert composite_digest(["a"]) != composite_digest(["a", "b"])
+
+    def test_corpus_free_scope_isolates_shards(self, bundle):
+        plan = plan_shards(bundle, _cfg(4, embedding="petsc-embed-small"))
+        assert plan.embedding_scope == "corpus-free"
+        # Corpus-fitted models fold the global corpus digest into every
+        # shard fingerprint instead (any edit dirties all shards).
+        fitted = plan_shards(bundle, _cfg(4))
+        assert fitted.embedding_scope != "corpus-free"
+
+    def test_zero_shards_rejected(self, bundle):
+        from repro.errors import IndexBuildError
+
+        with pytest.raises(IndexBuildError):
+            plan_shards(bundle, ReproConfig())
+
+
+class TestShardedStore:
+    def _docs(self, n=12):
+        return [
+            Document(text=f"krylov method number {i} gmres", metadata={"source": f"d{i}"})
+            for i in range(n)
+        ]
+
+    def _sharded(self, docs, num_shards=3):
+        emb = HashingEmbedding(dim=32)
+        buckets = [[] for _ in range(num_shards)]
+        for d in docs:
+            buckets[shard_for_document(d, num_shards)].append(d)
+        shards = [VectorStore.from_documents(b, emb) for b in buckets]
+        return ShardedVectorStore(shards, emb)
+
+    def test_merge_is_partition_invariant(self):
+        # Identical results for every shard count — and score-for-score
+        # agreement with the monolithic store (document identity can
+        # differ from monolithic only inside an exact score tie at the
+        # k boundary, where monolithic breaks by insertion order and the
+        # merge breaks by doc id).
+        docs = self._docs()
+        emb = HashingEmbedding(dim=32)
+        mono = VectorStore.from_documents(docs, emb)
+        for k in (1, 3, 5, len(docs)):
+            m = mono.similarity_search_with_score("krylov gmres", k=k)
+            results = [
+                self._sharded(docs, num_shards=n).similarity_search_with_score(
+                    "krylov gmres", k=k
+                )
+                for n in (1, 2, 3, 6)
+            ]
+            first = [(d.doc_id, round(sc, 9)) for d, sc in results[0]]
+            for other in results[1:]:
+                assert [(d.doc_id, round(sc, 9)) for d, sc in other] == first
+            assert [round(sc, 9) for _, sc in m] == [sc for _, sc in first]
+
+    def test_merge_tie_break_is_doc_id(self):
+        # Two identical texts in different shards: equal scores, so the
+        # merged order must come from the doc-id tie-break, not shard
+        # order or insertion order.
+        emb = HashingEmbedding(dim=32)
+        a = Document(text="gmres restart", metadata={"source": "aaa"})
+        b = Document(text="gmres restart", metadata={"source": "zzz"})
+        store = ShardedVectorStore(
+            [VectorStore.from_documents([b], emb), VectorStore.from_documents([a], emb)],
+            emb,
+        )
+        hits = store.similarity_search_with_score("gmres restart", k=2)
+        assert [d.doc_id for d, _ in hits] == sorted(d.doc_id for d in (a, b))
+
+    def test_add_documents_routes_by_shard(self):
+        docs = self._docs(6)
+        sharded = self._sharded(docs, num_shards=3)
+        before = [len(s) for s in sharded.shards]
+        extra = Document(text="new cg note", metadata={"source": "d0"})
+        ids = sharded.add_documents([extra])
+        assert ids == [extra.doc_id]
+        target = shard_for_document(extra, 3)
+        after = [len(s) for s in sharded.shards]
+        assert after[target] == before[target] + 1
+        assert sum(after) == sum(before) + 1
+
+    def test_fork_isolates_parent(self):
+        sharded = self._sharded(self._docs(6))
+        fork = sharded.fork()
+        fork.add_documents([Document(text="child only", metadata={"source": "d0"})])
+        assert len(fork) == len(sharded) + 1
+
+    def test_save_load_unsupported(self, tmp_path):
+        sharded = self._sharded(self._docs(3))
+        with pytest.raises(VectorStoreError):
+            sharded.save(tmp_path)
+        with pytest.raises(VectorStoreError):
+            ShardedVectorStore.load(tmp_path, HashingEmbedding(dim=32))
+
+
+class TestShardedBuild:
+    def test_build_produces_composite_artifact(self, bundle):
+        art = build_sharded_index(bundle, _cfg(4))
+        assert isinstance(art, ShardedIndexArtifact)
+        assert art.num_shards == 4
+        assert art.digest == composite_digest([s.digest for s in art.shards])
+        assert len(art.chunks) == sum(len(s.chunks) for s in art.shards)
+        rows = art.shard_summaries()
+        assert [r["shard"] for r in rows] == [0, 1, 2, 3]
+        assert all(r["vectors"] == r["chunks"] for r in rows)
+
+    def test_get_or_build_hits_composite_cache(self, bundle):
+        cfg = _cfg(2)
+        a = get_or_build_sharded_index(bundle, cfg)
+        b = get_or_build_sharded_index(bundle, cfg)
+        assert b is a
+
+    def test_one_document_edit_rebuilds_one_shard(self, bundle, tmp_path):
+        cfg = _cfg(4, embedding="petsc-embed-small")
+        with use_registry(MetricsRegistry()):
+            build_sharded_index(bundle, cfg, cache_dir=tmp_path)
+        docs = list(bundle.documents)
+        docs[0] = Document(
+            text=docs[0].text + "\nedited", metadata=dict(docs[0].metadata)
+        )
+        edited = CorpusBundle(
+            registry=bundle.registry,
+            documents=docs,
+            manual_page_names=dict(bundle.manual_page_names),
+        )
+        clear_index_cache()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            build_sharded_index(edited, cfg, cache_dir=tmp_path)
+        assert reg.counter("repro.shard.builds").value == 1
+        assert reg.counter("repro.shard.disk_hits").value == 3
+
+
+class TestShardedEngine:
+    def test_open_engine_picks_sharded(self, bundle):
+        engine = open_engine(_cfg(2), bundle=bundle)
+        assert isinstance(engine, ShardedQueryEngine)
+        assert engine.num_shards == 2
+        mono = open_engine(_cfg(0), bundle=bundle)
+        assert isinstance(mono, QueryEngine)
+        assert not isinstance(mono, ShardedQueryEngine)
+
+    def test_answers_match_across_shard_counts(self, bundle):
+        q = "How do I change the GMRES restart length?"
+        answers = {
+            n: open_engine(_cfg(n), bundle=bundle).answer(q).answer
+            for n in (0, 1, 2, 4)
+        }
+        assert len(set(answers.values())) == 1
+
+    def test_scatter_span_appears_in_trace(self, bundle):
+        engine = open_engine(_cfg(2), bundle=bundle)
+        result = engine.answer("What is the default KSP type?")
+        assert result.trace is not None
+        assert "scatter" in result.trace.span_counts()
+
+    def test_shard_summary(self, bundle):
+        engine = open_engine(_cfg(2), bundle=bundle)
+        summary = engine.shard_summary()
+        assert summary["num_shards"] == 2
+        assert len(summary["shards"]) == 2
+        assert summary["composite_digest"] == engine.artifact.digest
+
+    def test_sharded_engine_rejects_monolithic_artifact(self, bundle):
+        mono = open_engine(_cfg(0), bundle=bundle)
+        with pytest.raises(ConfigurationError):
+            ShardedQueryEngine(mono.artifact, _cfg(2))
+
+    def test_from_corpus_requires_shards(self, bundle):
+        with pytest.raises(ConfigurationError):
+            ShardedQueryEngine.from_corpus(bundle, _cfg(0))
+
+
+class TestShardingConfig:
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ShardingConfig(num_shards=-1).validate()
+        with pytest.raises(ConfigurationError):
+            ShardingConfig(build_workers=0).validate()
+        with pytest.raises(ConfigurationError):
+            ShardingConfig(scatter_workers=-2).validate()
+        ShardingConfig(num_shards=0, scatter_workers=0).validate()
