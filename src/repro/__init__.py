@@ -13,8 +13,11 @@ True
 
 Main entry points
 -----------------
-``open_engine``               the front door: ReproConfig → QueryEngine
-                              (sharded scatter-gather when configured)
+``open_service``              the serving front door: ReproConfig →
+                              ReproService (one interceptor chain, one
+                              scheduler, for every consumer)
+``open_engine``               ReproConfig → QueryEngine (sharded
+                              scatter-gather when configured)
 ``ReproConfig``               root config nesting every subsystem's knobs
 ``build_default_corpus``      the synthetic PETSc knowledge base
 ``build_workflow``            corpus → RAG(+rerank) → LLM → postprocess
@@ -41,10 +44,12 @@ from repro.index import IndexArtifact, ShardedIndexArtifact, get_or_build_index
 from repro.api import (
     open_engine,
     open_pipeline,
+    open_service,
     open_support_system,
     open_workflow,
     resolve_artifact,
 )
+from repro.service import ReproService
 from repro.pipeline import AugmentedWorkflow, RAGPipeline, build_rag_pipeline, build_workflow
 from repro.bots import build_support_system
 from repro.evaluation import (
@@ -66,10 +71,12 @@ __all__ = [
     "IndexArtifact",
     "ShardedIndexArtifact",
     "QueryEngine",
+    "ReproService",
     "ShardedQueryEngine",
     "get_or_build_index",
     "open_engine",
     "open_pipeline",
+    "open_service",
     "open_support_system",
     "open_workflow",
     "resolve_artifact",

@@ -10,6 +10,10 @@ This module is the one front door:
   out.  Picks the monolithic or sharded engine from
   ``config.sharding.num_shards`` and resolves the shared index artifact
   (memory → disk → build) on the way.
+* :func:`open_service` — config in,
+  :class:`~repro.service.ReproService` out: the request front door over
+  an :func:`open_engine` engine.  Serving code (CLI, bots, evaluation,
+  chaos sweeps) should hold a service, not a raw engine or pipeline.
 * :func:`open_pipeline` / :func:`open_workflow` /
   :func:`open_support_system` — the higher assemblies, all built on the
   same artifact/engine resolution.
@@ -35,6 +39,7 @@ if TYPE_CHECKING:
     from repro.pipeline.rag import RAGPipeline
     from repro.pipeline.workflow import AugmentedWorkflow
     from repro.resilience.faults import FaultInjector
+    from repro.service import ReproService
 
 
 def resolve_artifact(
@@ -77,6 +82,26 @@ def open_engine(
     return cls.from_corpus(
         bundle, config, fault_injector=fault_injector, registry=registry
     )
+
+
+def open_service(
+    config: ReproConfig | None = None,
+    *,
+    bundle: CorpusBundle | None = None,
+    fault_injector: "FaultInjector | None" = None,
+    registry: "MetricsRegistry | None" = None,
+) -> "ReproService":
+    """Open the serving front door: an :func:`open_engine` engine wrapped
+    in its :class:`~repro.service.ReproService`.
+
+    Every request — single or batch, from any consumer — runs the same
+    interceptor chain (``admission → dedupe → answer-cache → tracing →
+    execute → record``) and the same deterministic scheduler.
+    """
+    engine = open_engine(
+        config, bundle=bundle, fault_injector=fault_injector, registry=registry
+    )
+    return engine.service
 
 
 def open_pipeline(

@@ -33,6 +33,7 @@ from repro.mail.mailinglist import MailingList
 from repro.mail.message import EmailMessage
 from repro.pipeline.rag import PipelineResult, RAGPipeline
 from repro.prompts import REVISE_PROMPT
+from repro.service import ReproService
 
 if TYPE_CHECKING:
     from repro.engine import QueryEngine
@@ -69,12 +70,22 @@ class PetscChatbot(App):
         bot_email: str = "petscbot@gmail.com",
         store: InteractionStore | None = None,
         engine: "QueryEngine | None" = None,
+        service: ReproService | None = None,
     ) -> None:
         super().__init__(name="petsc-chatbot", server=server, gateway=gateway)
         self.pipeline = pipeline
-        #: When set, questions route through the engine's shared caches
-        #: instead of calling the pipeline directly.
-        self.engine = engine
+        #: The request front door every question goes through.  Built
+        #: from ``engine`` (shared caches, admission) when one is given,
+        #: else an engine-less service over the bare pipeline — one code
+        #: path either way.
+        if service is None:
+            service = (
+                engine.service
+                if engine is not None
+                else ReproService.for_pipeline(pipeline)
+            )
+        self.service = service
+        self.engine = engine if engine is not None else service.engine
         self.mailing_list = mailing_list
         self.bot_email = bot_email
         self.store = store if store is not None else InteractionStore()
@@ -84,9 +95,7 @@ class PetscChatbot(App):
         self.command("reply", "Draft an LLM answer for a petsc-users post", self._cmd_reply)
 
     def _answer(self, question: str) -> PipelineResult:
-        if self.engine is not None:
-            return self.engine.answer(question, mode=self.pipeline.mode)
-        return self.pipeline.answer(question)
+        return self.service.answer(question, mode=self.pipeline.mode)
 
     # ------------------------------------------------------------ /reply flow
     def _require_developer(self, user: User) -> None:

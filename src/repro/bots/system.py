@@ -123,20 +123,24 @@ def build_support_system(
     # Non-baseline bots serve through the shared index artifact; chaos
     # builds keep determinism because a fault injector disables the
     # engine's answer cache.  Engine/pipeline plumbing lives behind the
-    # repro.api facade (which also picks sharded serving when configured).
+    # repro.api facade (which also picks sharded serving when configured);
+    # either way the chatbot gets one ReproService front door.
     from repro.api import open_engine, open_pipeline
+    from repro.service import ReproService
 
     if PipelineMode.coerce(mode) is PipelineMode.BASELINE:
         engine = None
         pipeline = open_pipeline(
             config, bundle=bundle, mode=mode, fault_injector=fault_injector
         )
+        service = ReproService.for_pipeline(pipeline)
     else:
         engine = open_engine(config, bundle=bundle, fault_injector=fault_injector)
         pipeline = engine.pipeline(mode)
+        service = engine.service
     chatbot = PetscChatbot(
         server, gateway, pipeline=pipeline, mailing_list=mailing_list,
-        bot_email=bot_email, store=store, engine=engine,
+        bot_email=bot_email, store=store, engine=engine, service=service,
     )
 
     return SupportSystem(

@@ -40,9 +40,11 @@ facilitate various use cases."  This module is that CLI:
     keeping the longest intact record prefix and truncating any torn
     tail left by a crash mid-append.
 
-All question-answering commands serve through the engine
-:func:`repro.api.open_engine` returns, over one cached index artifact,
-so a multi-command process builds the index exactly once.  With the
+All question-answering commands serve through the
+:class:`~repro.service.ReproService` front door (see
+:func:`repro.api.open_service`), over one cached index artifact, so a
+multi-command process builds the index exactly once and every request —
+single or batch — runs the same interceptor chain.  With the
 global ``--shards N`` flag the index is partitioned into N shards built
 in parallel and served scatter-gather — answers are byte-identical to
 the monolithic path.
@@ -58,7 +60,7 @@ from typing import Sequence
 
 from pathlib import Path
 
-from repro.api import open_engine, resolve_artifact
+from repro.api import open_service, resolve_artifact
 from repro.config import AdmissionConfig, ReproConfig, RetrievalConfig, ShardingConfig
 from repro.corpus import CorpusBuilder, build_default_corpus
 from repro.durability import recover_journal, scan_journal
@@ -82,6 +84,7 @@ from repro.observability import MetricsRegistry, use_registry
 from repro.pipeline.rag import pipeline_from_artifact
 from repro.resilience import FaultConfig, FaultInjector
 from repro.retrieval import ManualPageKeywordSearch
+from repro.service import ReproService
 
 _MODES = ("baseline", "rag", "rag+rerank")
 
@@ -229,8 +232,8 @@ def _grader(bundle) -> BlindGrader:
 
 
 def cmd_ask(args: argparse.Namespace) -> int:
-    engine = open_engine(_config(args))
-    result = engine.answer(args.question, mode=args.mode)
+    service = open_service(_config(args))
+    result = service.answer(args.question, mode=args.mode)
     print(result.answer)
     if args.show_contexts and result.contexts:
         print("\n-- contexts --", file=sys.stderr)
@@ -252,8 +255,8 @@ def cmd_ask(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
-    engine = open_engine(_config(args), bundle=bundle)
-    run = run_experiment(engine.pipeline(args.mode), _grader(bundle))
+    service = open_service(_config(args), bundle=bundle)
+    run = run_experiment(service, _grader(bundle), mode=args.mode)
     print(render_score_histogram(run, title=f"{args.mode} ({args.model} + {args.embedding})"))
     return 0
 
@@ -261,10 +264,10 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
     grader = _grader(bundle)
-    # One engine serves all three modes from the same index artifact.
-    engine = open_engine(_config(args), bundle=bundle)
+    # One service serves all three modes from the same index artifact.
+    service = open_service(_config(args), bundle=bundle)
     runs = {
-        mode: run_experiment(engine.pipeline(mode), grader) for mode in _MODES
+        mode: run_experiment(service, grader, mode=mode) for mode in _MODES
     }
     print(render_comparison(compare_modes(runs["baseline"], runs["rag"]),
                             title="Fig. 6a — baseline vs RAG"))
@@ -286,11 +289,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
 def cmd_casestudy(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
-    engine = open_engine(_config(args), bundle=bundle)
-    rag = engine.pipeline("rag")
-    rerank = engine.pipeline("rag+rerank")
+    service = open_service(_config(args), bundle=bundle)
     qid = CASE_STUDY_1_QID if args.number == 1 else CASE_STUDY_2_QID
-    res = run_case_study(qid, rag, rerank, _grader(bundle))
+    res = run_case_study(qid, service, _grader(bundle))
     print(f"Case Study {args.number} (paper Fig. {6 + args.number})")
     print(res.render())
     return 0
@@ -334,12 +335,17 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     traces = []
     with use_registry(registry):
-        pipeline = pipeline_from_artifact(
-            artifact, cfg, mode=args.mode, fault_injector=injector
+        # An engine-less service over a bare pipeline: the chain's
+        # engine concerns no-op, so the measured workload is exactly the
+        # historical direct-pipeline one.
+        service = ReproService.for_pipeline(
+            pipeline_from_artifact(
+                artifact, cfg, mode=args.mode, fault_injector=injector
+            )
         )
         for q in krylov_benchmark()[: args.questions]:
             try:
-                result = pipeline.answer(q.text)
+                result = service.answer(q.text)
             except ReproError:
                 continue
             if result.trace is not None:
@@ -426,8 +432,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             queue_timeout_seconds=args.queue_timeout,
         )
         arrivals = [i * args.arrival_interval for i in range(len(questions))]
-    engine = open_engine(config, registry=registry)
-    batch = engine.answer_many(
+    service = open_service(config, registry=registry)
+    batch = service.answer_many(
         questions, mode=args.mode, workers=args.workers, seed=args.seed,
         arrivals=arrivals,
     )

@@ -1,236 +1,41 @@
-"""The query engine: one artifact, per-mode pipelines, batched serving.
+"""The query engine: one artifact, per-mode pipelines, shared caches.
 
 A :class:`QueryEngine` owns one immutable
-:class:`~repro.index.IndexArtifact` plus lazily-built pipelines for each
-mode, and serves every consumer — CLI, workflow, bots, evaluation,
-benchmarks — through two entry points:
+:class:`~repro.index.IndexArtifact`, lazily-built pipelines for each
+mode, and the answer/retrieval/embedding LRU caches.  Serving goes
+through the request lifecycle in :mod:`repro.service`:
+:meth:`QueryEngine.answer` and :meth:`QueryEngine.answer_many` are thin
+wrappers that route every request — one question is a batch of one —
+through the engine's :class:`~repro.service.ReproService` and its
+interceptor chain (``admission → dedupe → answer-cache → tracing →
+execute → record``).
 
-* :meth:`QueryEngine.answer` — one question, sequential, with the
-  shared caches consulted inline.
-* :meth:`QueryEngine.answer_many` — a batch through a deterministic
-  scheduler: a bounded worker pool, per-request contexts (own tracer,
-  seeded RNG, explicit registry), deferred LRU commits replayed in
-  submission order, and the simulated LLM's token burn collected and
-  flushed through one vectorized kernel after the barrier.  Answers,
-  metric digests, and span-structure digests are byte-identical
-  regardless of worker count.
-
-Determinism contract (see DESIGN.md §8): everything digest-relevant is a
-pure function of (artifact digest, question list, mode, seed, cache
-state at batch start).  Worker count and thread scheduling may only move
-wall-clock numbers, which the digests exclude by construction.
+Determinism contract (see DESIGN.md §8 and §12): everything
+digest-relevant is a pure function of (artifact digest, question list,
+mode, seed, cache state at batch start).  Worker count and thread
+scheduling may only move wall-clock numbers, which the digests exclude
+by construction.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 
-from repro.admission import ADMIT, QUEUE, SHED, AdmissionController, AdmissionDecision
+from repro.admission import AdmissionController
 from repro.config import WorkflowConfig
 from repro.context import RequestContext
 from repro.corpus.builder import CorpusBundle, build_default_corpus
-from repro.engine.caches import (
-    CacheTransaction,
-    CachedEmbedding,
-    CachingRetriever,
-    ContextBinder,
-    LRUCache,
-)
-from repro.errors import ConfigurationError, ReproError
+from repro.engine.caches import CachedEmbedding, CachingRetriever, ContextBinder, LRUCache
 from repro.index import IndexArtifact, get_or_build_index
-from repro.llm.latency import TokenBurnCollector
-from repro.observability import MetricsRegistry, Tracer, get_registry
-from repro.observability.trace import Trace
+from repro.observability import MetricsRegistry, get_registry
 from repro.pipeline.rag import PipelineResult, RAGPipeline, pipeline_from_artifact
 from repro.pipeline.types import PipelineMode
 from repro.resilience.faults import FaultInjector
-from repro.resilience.policy import Deadline
-from repro.utils.rng import derive_seed
 
+# Historical home of the batch types; they now live with the lifecycle.
+from repro.service.lifecycle import BatchItem, BatchResult
 
-def _question_digest(question: str) -> str:
-    return hashlib.sha256(question.encode("utf-8", errors="replace")).hexdigest()
-
-
-@dataclass
-class _CachedAnswer:
-    """The replayable slice of a pipeline result (no trace, no timings)."""
-
-    answer: str
-    model: str
-    contexts: tuple
-    candidates: tuple
-    prompt: str
-    completion: object
-    attempts: int
-    degraded: tuple
-
-    @classmethod
-    def from_result(cls, result: PipelineResult) -> "_CachedAnswer":
-        return cls(
-            answer=result.answer,
-            model=result.model,
-            contexts=tuple(result.contexts),
-            candidates=tuple(result.candidates),
-            prompt=result.prompt,
-            completion=result.completion,
-            attempts=result.attempts,
-            degraded=tuple(result.degraded),
-        )
-
-
-@dataclass
-class BatchItem:
-    """One question's outcome within a batch, in input order."""
-
-    index: int
-    question: str
-    result: PipelineResult | None
-    cached: bool = False
-    error: str = ""
-    #: The admission layer rejected this request before any work ran.
-    shed: bool = False
-    #: Suggested client backoff in seconds (shed items only).
-    retry_after: float = 0.0
-    #: Span tree for items without a pipeline result (shed items get a
-    #: one-span admission trace so the rejection is observable).
-    trace: Trace | None = None
-
-    @property
-    def answered(self) -> bool:
-        return self.result is not None
-
-    def trace_or_result_trace(self) -> Trace | None:
-        """The item-level trace wins: it is per-item even when the
-        pipeline result (and its trace) is shared with a dedupe primary."""
-        if self.trace is not None:
-            return self.trace
-        return self.result.trace if self.result is not None else None
-
-
-@dataclass
-class BatchResult:
-    """Everything one :meth:`QueryEngine.answer_many` call produced."""
-
-    mode: PipelineMode
-    workers: int
-    seed: int
-    items: list[BatchItem] = field(default_factory=list)
-    #: The admission ladder's decision vector; None when admission is off.
-    decisions: list[AdmissionDecision] | None = None
-    batch_seconds: float = 0.0
-    #: Wall seconds the coordinator spent in the vectorized burn flush.
-    burn_seconds: float = 0.0
-    #: Completion tokens whose latency work was deferred to the flush.
-    deferred_tokens: int = 0
-    cache_sizes: dict = field(default_factory=dict)
-
-    @property
-    def results(self) -> list[PipelineResult | None]:
-        return [it.result for it in self.items]
-
-    @property
-    def answered_count(self) -> int:
-        return sum(1 for it in self.items if it.answered)
-
-    @property
-    def cached_count(self) -> int:
-        return sum(1 for it in self.items if it.cached)
-
-    @property
-    def shed_count(self) -> int:
-        return sum(1 for it in self.items if it.shed)
-
-    @property
-    def queued_count(self) -> int:
-        if self.decisions is None:
-            return 0
-        return sum(1 for d in self.decisions if d.outcome == QUEUE)
-
-    @property
-    def admitted_count(self) -> int:
-        """Requests that reached the engine (straight admits + queued)."""
-        if self.decisions is None:
-            return len(self.items)
-        return sum(1 for d in self.decisions if d.outcome in (ADMIT, QUEUE))
-
-    @property
-    def questions_per_second(self) -> float:
-        return len(self.items) / self.batch_seconds if self.batch_seconds > 0 else 0.0
-
-    # ------------------------------------------------------------ digests
-    def answers_digest(self) -> str:
-        """SHA-256 over the canonical outcomes — identical across worker
-        counts and across two same-seed runs from equal cache state."""
-        payload = json.dumps(
-            [
-                [
-                    it.question,
-                    it.result.answer if it.result is not None else "",
-                    it.result.attempts if it.result is not None else 0,
-                    [str(e) for e in it.result.degraded] if it.result is not None else [],
-                    it.cached,
-                    it.error,
-                    it.shed,
-                    round(it.retry_after, 6),
-                ]
-                for it in self.items
-            ],
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
-
-    def span_digest(self) -> str:
-        """SHA-256 over per-request span-structure digests, input order."""
-        digests = []
-        for it in self.items:
-            trace = it.trace_or_result_trace()
-            digests.append(trace.structure_digest() if trace is not None else "")
-        return hashlib.sha256(json.dumps(digests).encode()).hexdigest()
-
-    # ------------------------------------------------------------ rendering
-    def render(self, *, show_answers: bool = False) -> str:
-        lines: list[str] = []
-        for it in self.items:
-            if it.shed:
-                status = f"SHED    retry_after={it.retry_after:.3f}s"
-            elif it.result is None:
-                status = f"FAILED  {it.error}"
-            else:
-                flags = []
-                if it.cached:
-                    flags.append("cached")
-                if it.result.attempts > 1:
-                    flags.append(f"attempts={it.result.attempts}")
-                flags.extend(str(e) for e in it.result.degraded)
-                status = f"{it.result.mode}" + (f"  [{', '.join(flags)}]" if flags else "")
-            lines.append(f"  {it.index + 1:>3}. {status}  {it.question[:56]}")
-            if show_answers and it.result is not None:
-                for answer_line in it.result.answer.splitlines():
-                    lines.append(f"       | {answer_line}")
-        lines.append(
-            f"answered {self.answered_count}/{len(self.items)} "
-            f"({self.cached_count} cached) in {self.batch_seconds:.2f}s "
-            f"— {self.questions_per_second:.2f} q/s, workers={self.workers}"
-        )
-        lines.append(
-            f"deferred llm tokens: {self.deferred_tokens} "
-            f"(vectorized flush {1000 * self.burn_seconds:.1f} ms)"
-        )
-        if self.decisions is not None:
-            admitted = sum(1 for d in self.decisions if d.outcome == ADMIT)
-            lines.append(
-                f"admission: {admitted} admitted, {self.queued_count} queued, "
-                f"{self.shed_count} shed (of {len(self.decisions)})"
-            )
-        lines.append(f"answers digest: {self.answers_digest()}")
-        lines.append(f"span digest:    {self.span_digest()}")
-        return "\n".join(lines)
+__all__ = ["BatchItem", "BatchResult", "QueryEngine"]
 
 
 class QueryEngine:
@@ -273,6 +78,7 @@ class QueryEngine:
         )
         self._pipelines: dict[PipelineMode, RAGPipeline] = {}
         self._build_lock = threading.Lock()
+        self._service = None
 
     @classmethod
     def from_corpus(
@@ -291,6 +97,16 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------ plumbing
+    @property
+    def service(self):
+        """The engine's :class:`~repro.service.ReproService` — the one
+        scheduler every request (single or batch) flows through."""
+        if self._service is None:
+            from repro.service import ReproService
+
+            self._service = ReproService.for_engine(self)
+        return self._service
+
     def _metrics(self) -> MetricsRegistry:
         """The registry for the *current* call: request-scoped handle
         first (worker threads), explicit engine handle, then ambient."""
@@ -347,36 +163,7 @@ class QueryEngine:
             "embedding": len(self._embedding_lru),
         }
 
-    def _answer_key(self, question: str, mode: PipelineMode) -> tuple:
-        return (_question_digest(question), str(mode), self.artifact.digest)
-
-    def _cache_answers(self) -> bool:
-        # Fault injection is per-call state; serving a cached answer
-        # would silently skip scheduled faults, so chaos builds bypass.
-        return self.config.engine.answer_cache_size > 0 and self.fault_injector is None
-
-    def _replay(self, question: str, mode: PipelineMode, payload: _CachedAnswer) -> PipelineResult:
-        """Materialize a cached answer: fresh root span, no llm child."""
-        tracer = Tracer()
-        with tracer.trace(
-            "pipeline", mode=str(mode), model=payload.model, cached=True
-        ) as trace:
-            tracer.event("cache:answer-hit")
-        return PipelineResult(
-            question=question,
-            answer=payload.answer,
-            mode=mode,
-            model=payload.model,
-            contexts=list(payload.contexts),
-            candidates=list(payload.candidates),
-            prompt=payload.prompt,
-            completion=payload.completion,
-            attempts=payload.attempts,
-            degraded=list(payload.degraded),
-            trace=trace,
-        )
-
-    # ------------------------------------------------------------ sequential
+    # ------------------------------------------------------------ serving
     def answer(
         self,
         question: str,
@@ -384,68 +171,8 @@ class QueryEngine:
         mode: str | PipelineMode | None = None,
         ctx: RequestContext | None = None,
     ) -> PipelineResult:
-        """Answer one question through the shared artifact and caches."""
-        mode = PipelineMode.coerce(mode) if mode is not None else self.default_mode
-        registry = (
-            ctx.registry
-            if ctx is not None and ctx.registry is not None
-            else (self.registry if self.registry is not None else get_registry())
-        )
-        registry.counter("repro.engine.requests").inc()
-        if self.admission is not None:
-            # Sheds raise OverloadedError (retry_safe) before any work.
-            self.admission.admit_one(registry=registry)
-        key = self._answer_key(question, mode)
-        if self._cache_answers():
-            hit = self._answer_lru.peek(key)
-            if hit is not None:
-                registry.counter("repro.engine.answer_cache.hits").inc()
-                self._answer_lru.touch(key)
-                return self._replay(question, mode, hit)
-            registry.counter("repro.engine.answer_cache.misses").inc()
-        pipeline = self.pipeline(mode)
-        if ctx is None:
-            ctx = RequestContext.create(
-                registry=registry,
-                deadline=(
-                    Deadline(pipeline.deadline_seconds)
-                    if pipeline.deadline_seconds is not None
-                    else None
-                ),
-            )
-        previous = self.binder.ctx
-        self.binder.ctx = ctx
-        try:
-            result = pipeline.answer(question, ctx=ctx)
-        finally:
-            self.binder.ctx = previous
-        if self._cache_answers():
-            self._answer_lru.put(key, _CachedAnswer.from_result(result))
-        return result
-
-    # ------------------------------------------------------------ batched
-    def _shed_item(self, index: int, question: str, decision: AdmissionDecision) -> BatchItem:
-        """A rejected request's record: no work ran, but the rejection is
-        traced so shed requests show up in span digests like any other."""
-        tracer = Tracer()
-        with tracer.trace("admission", outcome=SHED) as trace:
-            tracer.event(
-                "admission:shed",
-                client=decision.client,
-                retry_after=round(decision.retry_after, 6),
-            )
-        return BatchItem(
-            index=index,
-            question=question,
-            result=None,
-            error=(
-                f"OverloadedError: shed by admission "
-                f"(retry after {decision.retry_after:.3f}s)"
-            ),
-            shed=True,
-            retry_after=decision.retry_after,
-            trace=trace,
-        )
+        """Answer one question — a batch of one through the service chain."""
+        return self.service.answer(question, mode=mode, ctx=ctx)
 
     def answer_many(
         self,
@@ -457,208 +184,13 @@ class QueryEngine:
         arrivals: list[float] | None = None,
         client_ids: list[str] | None = None,
     ) -> BatchResult:
-        """Answer a batch deterministically over a bounded worker pool.
-
-        The scheduler runs three phases: (1) the coordinator walks the
-        questions in order, serving answer-cache hits and deduplicating
-        repeats so each unique question is computed exactly once;
-        (2) unique misses run on the pool, each under its own
-        :class:`RequestContext` (tracer, seeded RNG, deferred cache
-        transaction, shared burn collector); (3) after the barrier the
-        coordinator replays cache commits in submission order and spends
-        the deferred token burn through one vectorized kernel.
-
-        Per-question pipeline failures are recorded on their
-        :class:`BatchItem` — a batch never aborts mid-flight.
-
-        When admission is enabled, phase (0) walks the admission ladder
-        over ``arrivals`` (simulated offsets, default all 0.0 — one
-        burst) and ``client_ids`` first: shed requests get a
-        :class:`BatchItem` with ``shed=True`` and never reach the
-        scheduler; queued requests run with an ``admission:queued`` span
-        event; the worker pool is clamped to the AIMD limit.
-        """
-        mode = PipelineMode.coerce(mode) if mode is not None else self.default_mode
-        workers = workers if workers is not None else self.config.engine.batch_workers
-        if workers <= 0:
-            raise ConfigurationError(f"workers must be positive, got {workers}")
-        n = len(questions)
-        if arrivals is not None and len(arrivals) != n:
-            raise ConfigurationError(
-                f"arrivals has {len(arrivals)} entries for {n} questions"
-            )
-        if client_ids is not None and len(client_ids) != n:
-            raise ConfigurationError(
-                f"client_ids has {len(client_ids)} entries for {n} questions"
-            )
-        registry = self.registry if self.registry is not None else get_registry()
-        registry.counter("repro.engine.batches").inc()
-        registry.counter("repro.engine.batch_requests").inc(len(questions))
-
-        decisions: list[AdmissionDecision] | None = None
-        if self.admission is not None:
-            decisions = self.admission.admit_batch(
-                [0.0] * n if arrivals is None else [float(t) for t in arrivals],
-                ["default"] * n if client_ids is None else list(client_ids),
-                registry=registry,
-            )
-            workers = max(1, min(workers, self.admission.concurrency_limit))
-            registry.gauge("repro.admission.concurrency_limit").set(
-                float(self.admission.concurrency_limit)
-            )
-        pipeline = self.pipeline(mode)  # built on the coordinator, shared
-        collector = TokenBurnCollector()
-        use_cache = self._cache_answers()
-        started = time.perf_counter()
-
-        items: list[BatchItem | None] = [None] * n
-        jobs: list[tuple[int, str, tuple]] = []  # (input index, question, key)
-        primary_of: dict[tuple, int] = {}
-        duplicates: list[tuple[int, int]] = []  # (input index, primary index)
-        hit_keys: dict[int, tuple] = {}
-        for i, question in enumerate(questions):
-            if decisions is not None and decisions[i].outcome == SHED:
-                # Shed before the caches: a rejected request consumes
-                # nothing — no token, no dedupe slot, no LRU touch.
-                items[i] = self._shed_item(i, question, decisions[i])
-                continue
-            key = self._answer_key(question, mode)
-            if use_cache:
-                payload = self._answer_lru.peek(key)
-                if payload is not None:
-                    registry.counter("repro.engine.answer_cache.hits").inc()
-                    hit_keys[i] = key
-                    items[i] = BatchItem(
-                        index=i,
-                        question=question,
-                        result=self._replay(question, mode, payload),
-                        cached=True,
-                    )
-                    continue
-                registry.counter("repro.engine.answer_cache.misses").inc()
-            first = primary_of.get(key)
-            if first is not None:
-                registry.counter("repro.engine.batch_deduped").inc()
-                duplicates.append((i, first))
-                continue
-            primary_of[key] = i
-            jobs.append((i, question, key))
-
-        deadline_seconds = pipeline.deadline_seconds
-
-        def run_one(index: int, question: str):
-            ctx = RequestContext.create(
-                request_id=f"batch{seed}-{index:05d}",
-                seed=derive_seed("engine-batch", seed, index),
-                registry=registry,
-                deadline=(
-                    Deadline(deadline_seconds) if deadline_seconds is not None else None
-                ),
-                burn_collector=collector,
-            )
-            txn = CacheTransaction()
-            ctx.scratch["cache_txn"] = txn
-            self.binder.ctx = ctx
-            try:
-                try:
-                    result: PipelineResult | None = pipeline.answer(question, ctx=ctx)
-                    error = ""
-                except ReproError as exc:
-                    result = None
-                    error = f"{type(exc).__name__}: {exc}"
-            finally:
-                self.binder.ctx = None
-            return result, error, txn
-
-        outcomes: dict[int, tuple[PipelineResult | None, str, CacheTransaction]] = {}
-        if jobs:
-            if workers == 1:
-                for i, question, _ in jobs:
-                    outcomes[i] = run_one(i, question)
-            else:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        i: pool.submit(run_one, i, question) for i, question, _ in jobs
-                    }
-                    for i, future in futures.items():
-                        outcomes[i] = future.result()
-
-        deferred_tokens, _ = collector.pending()
-        burn_seconds = collector.flush(lanes=self.config.engine.burn_lanes)
-        registry.counter("repro.engine.deferred_tokens").inc(deferred_tokens)
-
-        # Commit phase: strict input order, so the cache state future
-        # requests observe is independent of worker count.
-        key_of_job = {i: key for i, _, key in jobs}
-        for i in range(n):
-            hit_key = hit_keys.get(i)
-            if hit_key is not None:
-                self._answer_lru.touch(hit_key)
-                continue
-            outcome = outcomes.get(i)
-            if outcome is None:
-                continue  # duplicate; filled below
-            result, error, txn = outcome
-            txn.commit()
-            if result is not None and use_cache:
-                self._answer_lru.put(key_of_job[i], _CachedAnswer.from_result(result))
-            items[i] = BatchItem(
-                index=i, question=questions[i], result=result, error=error
-            )
-        for i, first in duplicates:
-            primary = items[first]
-            assert primary is not None
-            items[i] = BatchItem(
-                index=i,
-                question=questions[i],
-                result=primary.result,
-                cached=True,
-                error=primary.error,
-            )
-
-        elapsed = time.perf_counter() - started
-        final_items = [it for it in items if it is not None]
-        assert len(final_items) == n, "scheduler dropped a request"
-        registry.counter("repro.engine.batch_answers").inc(
-            sum(1 for it in final_items if it.answered)
-        )
-
-        if decisions is not None:
-            assert self.admission is not None
-            for d in decisions:
-                it = final_items[d.index]
-                if d.outcome == QUEUE:
-                    base = it.result.trace if it.result is not None else None
-                    if base is not None and base.root.end is not None:
-                        # Annotate a copy: dedupe duplicates share the
-                        # result trace with their primary, which must not
-                        # inherit this item's queueing.  at=end keeps the
-                        # closed root span well-formed.
-                        queued = Trace.from_dict(base.to_dict())
-                        queued.root.add_event(
-                            "admission:queued",
-                            at=queued.root.end,
-                            queue_wait=round(d.queue_wait, 6),
-                        )
-                        it.trace = queued
-                # AIMD feedback in input order, so the limit two batches
-                # from now is as reproducible as this batch's answers.
-                if d.outcome in (ADMIT, QUEUE):
-                    self.admission.observe_outcome(
-                        it.answered, it.error, registry=registry
-                    )
-            registry.gauge("repro.admission.concurrency_limit").set(
-                float(self.admission.concurrency_limit)
-            )
-
-        return BatchResult(
+        """Answer a batch through the service chain's deterministic
+        scheduler (see :meth:`repro.service.ReproService.answer_many`)."""
+        return self.service.answer_many(
+            questions,
             mode=mode,
             workers=workers,
             seed=seed,
-            items=final_items,
-            decisions=decisions,
-            batch_seconds=elapsed,
-            burn_seconds=burn_seconds,
-            deferred_tokens=deferred_tokens,
-            cache_sizes=self.cache_sizes(),
+            arrivals=arrivals,
+            client_ids=client_ids,
         )

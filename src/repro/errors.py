@@ -87,6 +87,14 @@ class ConfigurationError(ReproError):
     """A configuration object is inconsistent or out of range. Permanent."""
 
 
+class ServiceConfigurationError(ConfigurationError):
+    """The service's interceptor chain is malformed: a required
+    interceptor is missing, duplicated, or out of canonical order, or
+    the service was constructed over an inconsistent backend. Permanent
+    — the chain is validated at construction, before any request runs.
+    """
+
+
 class CorpusError(ReproError):
     """The knowledge-base corpus is malformed or missing content."""
 

@@ -134,11 +134,11 @@ def run_chaos_experiment(
     # A fault injector disables the engine's answer cache, so every
     # question hits the chaos-wrapped hops and the fault schedule stays
     # a pure function of the seed; the index artifact is still shared.
-    engine = QueryEngine.from_corpus(bundle, config, fault_injector=injector)
+    service = QueryEngine.from_corpus(bundle, config, fault_injector=injector).service
     run = ChaosRun(seed=seed, mode=mode, fault_config=fault_config)
     for q in questions:
         try:
-            result = engine.answer(q.text, mode=mode)
+            result = service.answer(q.text, mode=mode)
         except ReproError as exc:
             run.outcomes.append(
                 ChaosOutcome(
@@ -266,9 +266,9 @@ def _run_overload_phase(
     outcome = OverloadOutcome(factor=factor, total=n)
     registry = MetricsRegistry()
     try:
-        engine = QueryEngine.from_corpus(bundle, cfg)
+        service = QueryEngine.from_corpus(bundle, cfg).service
         with use_registry(registry):
-            batch = engine.answer_many(texts, mode=mode, seed=seed, arrivals=arrivals)
+            batch = service.answer_many(texts, mode=mode, seed=seed, arrivals=arrivals)
     except ReproError as exc:  # the sweep reports, never aborts
         outcome.error = f"{type(exc).__name__}: {exc}"
         return outcome

@@ -81,19 +81,34 @@ class ModeComparison:
 
 
 def run_experiment(
-    pipeline: RAGPipeline,
+    service,
     grader: BlindGrader,
     *,
     questions: list[BenchmarkQuestion] | None = None,
+    mode: str | None = None,
 ) -> ExperimentRun:
-    """Run every benchmark question through ``pipeline`` and grade blind."""
+    """Run every benchmark question through ``service`` and grade blind.
+
+    ``service`` is a :class:`~repro.service.ReproService` (the front
+    door — every question runs the full request lifecycle); a legacy
+    bare :class:`~repro.pipeline.rag.RAGPipeline` is also accepted and
+    wrapped in an engine-less service on the spot, which serves it
+    identically to the historical direct calls.  ``mode`` selects the
+    pipeline mode on multi-mode (engine-backed) services; the default is
+    the service's own default mode.
+    """
+    from repro.service import ReproService
+
+    if isinstance(service, RAGPipeline):
+        service = ReproService.for_pipeline(service)
+    mode = service.resolve_mode(mode)
     questions = questions if questions is not None else krylov_benchmark()
-    run = ExperimentRun(mode=pipeline.mode, model=pipeline.chat_model.name)
+    run = ExperimentRun(mode=mode, model=service.model_name(mode))
     for q in questions:
-        result = pipeline.answer(q.text)
+        result = service.answer(q.text, mode=mode)
         grade = grader.grade(q, result.answer)
         run.outcomes.append(QuestionOutcome(question=q, result=result, grade=grade))
-        if pipeline.mode != "baseline":
+        if mode != "baseline":
             run.timer.record("rag", result.rag_seconds)
         run.timer.record("llm", result.llm_seconds)
     return run

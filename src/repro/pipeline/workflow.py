@@ -10,6 +10,7 @@ from repro.corpus.builder import CorpusBundle
 from repro.history import InteractionStore
 from repro.pipeline.rag import PipelineResult, RAGPipeline
 from repro.pipeline.types import PipelineMode
+from repro.service import ReproService
 
 if TYPE_CHECKING:
     from repro.engine import QueryEngine
@@ -48,6 +49,7 @@ class AugmentedWorkflow:
         pipeline: RAGPipeline,
         *,
         engine: "QueryEngine | None" = None,
+        service: ReproService | None = None,
         store: InteractionStore | None = None,
         embedding_model: str = "",
         record_history: bool = True,
@@ -55,10 +57,18 @@ class AugmentedWorkflow:
     ) -> None:
         self.bundle = bundle
         self.pipeline = pipeline
-        #: When set, questions route through the engine (answer cache,
-        #: retrieval/embedding caches, shared artifact) instead of
-        #: calling the pipeline directly.
-        self.engine = engine
+        #: The request front door every question goes through: built
+        #: from ``engine`` (answer/retrieval/embedding caches, shared
+        #: artifact) when one is given, else an engine-less service over
+        #: the bare pipeline — one code path either way.
+        if service is None:
+            service = (
+                engine.service
+                if engine is not None
+                else ReproService.for_pipeline(pipeline)
+            )
+        self.service = service
+        self.engine = engine if engine is not None else service.engine
         self.store = store if store is not None else InteractionStore()
         self.embedding_model = embedding_model
         self.record_history = record_history
@@ -79,18 +89,16 @@ class AugmentedWorkflow:
             return 0
         docs = self.store.as_documents(min_mean_score=min_mean_score)
         added = self.pipeline.retriever.store.add_documents(docs)
-        if added and self.engine is not None:
-            # The RAG database just changed under the engine's caches;
+        if added:
+            # The RAG database just changed under the serving caches;
             # stale retrieval/answer entries would hide the new material.
-            self.engine.clear_query_caches()
+            # (No-op on engine-less services, which have no caches.)
+            self.service.invalidate_query_caches()
         return len(added)
 
     def ask(self, question: str, *, tags: list[str] | None = None) -> WorkflowAnswer:
         """Answer a question; postprocess and (optionally) record it."""
-        if self.engine is not None:
-            result = self.engine.answer(question, mode=self.pipeline.mode)
-        else:
-            result = self.pipeline.answer(question)
+        result = self.service.answer(question, mode=self.pipeline.mode)
         html = render_html(result.answer)
         checks = [
             check_code_block(blk, known_identifiers=self._known)

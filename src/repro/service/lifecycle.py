@@ -1,0 +1,281 @@
+"""Typed request-lifecycle objects: request, response, batch, run state.
+
+One request through the serving stack is an :class:`AnswerRequest`
+flowing down the interceptor chain and an :class:`AnswerResponse`
+flowing back.  A batch is a list of requests scheduled together; a
+single ``answer()`` call is a batch of one (same chain, same
+scheduler).  :class:`LifecycleState` is the blackboard one scheduler
+run shares across the chain — each interceptor reads and writes only
+the fields its contract names (DESIGN.md §12).
+
+``AnswerResponse`` is the object historically exported as
+``repro.engine.BatchItem``; the old name remains an alias so existing
+callers and pickles keep working.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.admission import ADMIT, QUEUE, AdmissionDecision
+from repro.observability import MetricsRegistry
+from repro.observability.trace import Trace
+from repro.pipeline.rag import PipelineResult
+from repro.pipeline.types import PipelineMode
+
+if TYPE_CHECKING:
+    from repro.context import RequestContext
+    from repro.llm.latency import TokenBurnCollector
+    from repro.pipeline.rag import RAGPipeline
+    from repro.service.service import ReproService
+
+#: The two request kinds one scheduler serves.  They differ only where
+#: the pre-lifecycle code paths differed observably: a single request
+#: raises admission/pipeline errors instead of recording them, creates
+#: its context lazily, and burns LLM latency inline instead of
+#: deferring it to the batch coordinator's vectorized flush.
+SINGLE = "single"
+BATCH = "batch"
+
+
+def question_digest(question: str) -> str:
+    return hashlib.sha256(question.encode("utf-8", errors="replace")).hexdigest()
+
+
+@dataclass
+class AnswerRequest:
+    """One question entering the chain, plus per-request scratch."""
+
+    question: str
+    mode: PipelineMode
+    index: int = 0
+    client_id: str = "default"
+    arrival: float = 0.0
+    #: Caller-supplied context (single requests only); batch requests
+    #: always get a deterministic per-index context at execute time.
+    ctx: "RequestContext | None" = None
+    #: Identity key ``(question digest, mode, artifact digest)`` — the
+    #: answer-cache and dedupe interceptors share it.  Computed lazily;
+    #: ``None`` on engine-less services (no artifact, no caches).
+    key: tuple | None = None
+    #: Set by dedupe when an earlier in-flight request has the same key.
+    dup_of: int | None = None
+
+
+@dataclass
+class AnswerResponse:
+    """One question's outcome, in input order.
+
+    Historically ``repro.engine.BatchItem``; the shape (and therefore
+    every digest derived from it) is frozen by the golden suite.
+    """
+
+    index: int
+    question: str
+    result: PipelineResult | None
+    cached: bool = False
+    error: str = ""
+    #: The admission layer rejected this request before any work ran.
+    shed: bool = False
+    #: Suggested client backoff in seconds (shed items only).
+    retry_after: float = 0.0
+    #: Span tree for items without a pipeline result (shed items get a
+    #: one-span admission trace so the rejection is observable).
+    trace: Trace | None = None
+
+    @property
+    def answered(self) -> bool:
+        return self.result is not None
+
+    def trace_or_result_trace(self) -> Trace | None:
+        """The item-level trace wins: it is per-item even when the
+        pipeline result (and its trace) is shared with a dedupe primary."""
+        if self.trace is not None:
+            return self.trace
+        return self.result.trace if self.result is not None else None
+
+
+#: Pre-service name, kept as an alias (see module docstring).
+BatchItem = AnswerResponse
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch through the service produced."""
+
+    mode: PipelineMode
+    workers: int
+    seed: int
+    items: list[AnswerResponse] = field(default_factory=list)
+    #: The admission ladder's decision vector; None when admission is off.
+    decisions: list[AdmissionDecision] | None = None
+    batch_seconds: float = 0.0
+    #: Wall seconds the coordinator spent in the vectorized burn flush.
+    burn_seconds: float = 0.0
+    #: Completion tokens whose latency work was deferred to the flush.
+    deferred_tokens: int = 0
+    cache_sizes: dict = field(default_factory=dict)
+
+    @property
+    def results(self) -> list[PipelineResult | None]:
+        return [it.result for it in self.items]
+
+    @property
+    def answered_count(self) -> int:
+        return sum(1 for it in self.items if it.answered)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for it in self.items if it.cached)
+
+    @property
+    def shed_count(self) -> int:
+        return sum(1 for it in self.items if it.shed)
+
+    @property
+    def queued_count(self) -> int:
+        if self.decisions is None:
+            return 0
+        return sum(1 for d in self.decisions if d.outcome == QUEUE)
+
+    @property
+    def admitted_count(self) -> int:
+        """Requests that reached the engine (straight admits + queued)."""
+        if self.decisions is None:
+            return len(self.items)
+        return sum(1 for d in self.decisions if d.outcome in (ADMIT, QUEUE))
+
+    @property
+    def questions_per_second(self) -> float:
+        return len(self.items) / self.batch_seconds if self.batch_seconds > 0 else 0.0
+
+    # ------------------------------------------------------------ digests
+    def answers_digest(self) -> str:
+        """SHA-256 over the canonical outcomes — identical across worker
+        counts and across two same-seed runs from equal cache state."""
+        payload = json.dumps(
+            [
+                [
+                    it.question,
+                    it.result.answer if it.result is not None else "",
+                    it.result.attempts if it.result is not None else 0,
+                    [str(e) for e in it.result.degraded] if it.result is not None else [],
+                    it.cached,
+                    it.error,
+                    it.shed,
+                    round(it.retry_after, 6),
+                ]
+                for it in self.items
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def span_digest(self) -> str:
+        """SHA-256 over per-request span-structure digests, input order."""
+        digests = []
+        for it in self.items:
+            trace = it.trace_or_result_trace()
+            digests.append(trace.structure_digest() if trace is not None else "")
+        return hashlib.sha256(json.dumps(digests).encode()).hexdigest()
+
+    # ------------------------------------------------------------ rendering
+    def render(self, *, show_answers: bool = False) -> str:
+        lines: list[str] = []
+        for it in self.items:
+            if it.shed:
+                status = f"SHED    retry_after={it.retry_after:.3f}s"
+            elif it.result is None:
+                status = f"FAILED  {it.error}"
+            else:
+                flags = []
+                if it.cached:
+                    flags.append("cached")
+                if it.result.attempts > 1:
+                    flags.append(f"attempts={it.result.attempts}")
+                flags.extend(str(e) for e in it.result.degraded)
+                status = f"{it.result.mode}" + (f"  [{', '.join(flags)}]" if flags else "")
+            lines.append(f"  {it.index + 1:>3}. {status}  {it.question[:56]}")
+            if show_answers and it.result is not None:
+                for answer_line in it.result.answer.splitlines():
+                    lines.append(f"       | {answer_line}")
+        lines.append(
+            f"answered {self.answered_count}/{len(self.items)} "
+            f"({self.cached_count} cached) in {self.batch_seconds:.2f}s "
+            f"— {self.questions_per_second:.2f} q/s, workers={self.workers}"
+        )
+        lines.append(
+            f"deferred llm tokens: {self.deferred_tokens} "
+            f"(vectorized flush {1000 * self.burn_seconds:.1f} ms)"
+        )
+        if self.decisions is not None:
+            admitted = sum(1 for d in self.decisions if d.outcome == ADMIT)
+            lines.append(
+                f"admission: {admitted} admitted, {self.queued_count} queued, "
+                f"{self.shed_count} shed (of {len(self.decisions)})"
+            )
+        lines.append(f"answers digest: {self.answers_digest()}")
+        lines.append(f"span digest:    {self.span_digest()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LifecycleState:
+    """The blackboard one scheduler run shares across the chain.
+
+    Which interceptor may write which field is part of the interceptor
+    contract (DESIGN.md §12); everything else treats the state as
+    read-only.
+    """
+
+    service: "ReproService"
+    kind: str
+    mode: PipelineMode
+    requests: list[AnswerRequest]
+    registry: MetricsRegistry
+    seed: int = 0
+    workers: int = 1
+    #: Normalized admission inputs (batch kind only).
+    arrivals: list[float] = field(default_factory=list)
+    client_ids: list[str] = field(default_factory=list)
+    #: ``req.key`` factory installed by the service; None ⇒ keyless
+    #: (engine-less) serving: no dedupe, no answer cache.
+    key_fn: Callable[[AnswerRequest], tuple] | None = None
+    #: name → interceptor for the validated chain serving this run.
+    interceptors: dict[str, Any] = field(default_factory=dict)
+
+    # --- written by admission ---
+    decisions: list[AdmissionDecision] | None = None
+    # --- written by dedupe ---
+    primary_of: dict[tuple, int] = field(default_factory=dict)
+    duplicates: list[tuple[int, int]] = field(default_factory=list)
+    # --- written by answer-cache ---
+    use_cache: bool = False
+    hit_keys: dict[int, tuple] = field(default_factory=dict)
+    # --- written by tracing/metrics ---
+    collector: "TokenBurnCollector | None" = None
+    started: float = field(default_factory=time.perf_counter)
+    batch_seconds: float = 0.0
+    burn_seconds: float = 0.0
+    deferred_tokens: int = 0
+    # --- written by the scheduler (requests that passed the chain) ---
+    jobs: list[AnswerRequest] = field(default_factory=list)
+    # --- written by execute ---
+    pipeline: "RAGPipeline | None" = None
+    outcomes: dict[int, tuple] = field(default_factory=dict)
+    # --- written by the scheduler (disposals) and record (assembly) ---
+    items: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            self.items = [None] * len(self.requests)
+
+    def key_of(self, req: AnswerRequest) -> tuple | None:
+        """The request's identity key, computed once on first use."""
+        if req.key is None and self.key_fn is not None:
+            req.key = self.key_fn(req)
+        return req.key

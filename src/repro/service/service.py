@@ -1,0 +1,277 @@
+"""The service front door: every consumer's one way in.
+
+:class:`ReproService` owns a validated interceptor chain and one
+deterministic scheduler.  ``answer()`` is a batch of one through the
+same chain as ``answer_many()`` — there is no separate sequential code
+path anymore.  CLI commands, the chatbot, the email bot, the workflow,
+evaluation, and the chaos/robustness sweeps all route here; the only
+``pipeline.answer()`` call site left in the library is the execute
+interceptor.
+
+A service is backed either by a :class:`~repro.engine.QueryEngine`
+(shared artifact, answer/retrieval/embedding caches, admission,
+engine metrics — the normal case) or by a bare
+:class:`~repro.pipeline.rag.RAGPipeline` (baseline mode, or legacy
+callers holding a pipeline).  The chain is identical either way;
+engine-backed concerns simply no-op when there is no engine, which is
+what makes the two historical fallback branches in the bots and the
+workflow collapse into one code path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, ReproError, ServiceConfigurationError
+from repro.observability import get_registry
+from repro.pipeline.types import PipelineMode
+from repro.service.interceptors import Interceptor, default_chain, validate_chain
+from repro.service.lifecycle import (
+    BATCH,
+    SINGLE,
+    AnswerRequest,
+    BatchResult,
+    LifecycleState,
+    question_digest,
+)
+
+if TYPE_CHECKING:
+    from repro.admission import AdmissionController
+    from repro.context import RequestContext
+    from repro.engine import QueryEngine
+    from repro.observability import MetricsRegistry
+    from repro.pipeline.rag import PipelineResult, RAGPipeline
+
+
+class ReproService:
+    """One front door over one validated interceptor chain."""
+
+    def __init__(
+        self,
+        *,
+        engine: "QueryEngine | None" = None,
+        pipeline: "RAGPipeline | None" = None,
+        default_mode: str | PipelineMode | None = None,
+        chain: list[Interceptor] | None = None,
+    ) -> None:
+        if (engine is None) == (pipeline is None):
+            raise ServiceConfigurationError(
+                "ReproService needs exactly one backend: engine= or pipeline="
+            )
+        self.engine = engine
+        self._pipeline = pipeline
+        if default_mode is not None:
+            self.default_mode = PipelineMode.coerce(default_mode)
+        elif engine is not None:
+            self.default_mode = engine.default_mode
+        else:
+            self.default_mode = PipelineMode.coerce(pipeline.mode)
+        self.chain: list[Interceptor] = (
+            list(chain) if chain is not None else default_chain()
+        )
+        validate_chain(self.chain)
+        self._interceptors = {icp.name: icp for icp in self.chain}
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def for_engine(cls, engine: "QueryEngine", **kwargs) -> "ReproService":
+        return cls(engine=engine, **kwargs)
+
+    @classmethod
+    def for_pipeline(cls, pipeline: "RAGPipeline", **kwargs) -> "ReproService":
+        """An engine-less service over a bare pipeline: same chain, but
+        the admission/cache/engine-metrics interceptors have nothing to
+        act on and no-op, leaving behaviour byte-identical to calling
+        the pipeline directly."""
+        return cls(pipeline=pipeline, **kwargs)
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def admission(self) -> "AdmissionController | None":
+        return self.engine.admission if self.engine is not None else None
+
+    def resolve_mode(self, mode: str | PipelineMode | None = None) -> PipelineMode:
+        return PipelineMode.coerce(mode) if mode is not None else self.default_mode
+
+    def pipeline_for(self, mode: str | PipelineMode | None = None) -> "RAGPipeline":
+        """The pipeline serving ``mode`` (engine-built and cached, or
+        the injected bare pipeline)."""
+        mode = self.resolve_mode(mode)
+        if self.engine is not None:
+            return self.engine.pipeline(mode)
+        if mode != self._pipeline.mode:
+            raise ServiceConfigurationError(
+                f"this service wraps a bare {self._pipeline.mode!r} pipeline "
+                f"and cannot serve mode {str(mode)!r}; use an engine-backed service"
+            )
+        return self._pipeline
+
+    def model_name(self, mode: str | PipelineMode | None = None) -> str:
+        return self.pipeline_for(mode).chat_model.name
+
+    def cache_answers_enabled(self) -> bool:
+        # Fault injection is per-call state; serving a cached answer
+        # would silently skip scheduled faults, so chaos builds bypass.
+        if self.engine is None:
+            return False
+        return (
+            self.engine.config.engine.answer_cache_size > 0
+            and self.engine.fault_injector is None
+        )
+
+    def invalidate_query_caches(self) -> None:
+        """Drop the engine's query caches (no-op when engine-less) —
+        call after mutating the store a pipeline retrieves from."""
+        if self.engine is not None:
+            self.engine.clear_query_caches()
+
+    def _key_fn(self, mode: PipelineMode):
+        if self.engine is None:
+            return None
+        artifact_digest = self.engine.artifact.digest
+        return lambda req: (question_digest(req.question), str(mode), artifact_digest)
+
+    def _registry_for(self, ctx: "RequestContext | None") -> "MetricsRegistry":
+        """The run's registry: request-scoped handle first, explicit
+        engine handle, then the ambient scope — resolved on the
+        coordinator, never inside worker threads."""
+        if ctx is not None and ctx.registry is not None:
+            return ctx.registry
+        if self.engine is not None and self.engine.registry is not None:
+            return self.engine.registry
+        return get_registry()
+
+    # ------------------------------------------------------------ scheduler
+    def _run(self, state: LifecycleState) -> LifecycleState:
+        """Drive one lifecycle: setups in chain order, the per-request
+        walk (dispose → claim → job), execute, then finishes in
+        reverse chain order."""
+        state.interceptors = self._interceptors
+        chain = self.chain
+        for icp in chain:
+            icp.setup(state)
+        for req in state.requests:
+            response = None
+            for icp in chain:
+                response = icp.on_request(req, state)
+                if response is not None:
+                    state.items[req.index] = response
+                    break
+            if response is not None:
+                continue
+            if any(icp.claim(req, state) for icp in chain):
+                continue
+            state.jobs.append(req)
+            for icp in chain:
+                icp.on_job(req, state)
+        for icp in chain:
+            icp.execute(state)
+        for icp in reversed(chain):
+            icp.finish(state)
+        return state
+
+    # ------------------------------------------------------------ entry points
+    def answer(
+        self,
+        question: str,
+        *,
+        mode: str | PipelineMode | None = None,
+        ctx: "RequestContext | None" = None,
+    ) -> "PipelineResult":
+        """Answer one question: a batch of one through the chain.
+
+        Admission sheds raise ``OverloadedError`` and pipeline failures
+        propagate, exactly like the pre-service sequential path.
+        """
+        mode = self.resolve_mode(mode)
+        state = LifecycleState(
+            service=self,
+            kind=SINGLE,
+            mode=mode,
+            requests=[AnswerRequest(question=question, mode=mode, ctx=ctx)],
+            registry=self._registry_for(ctx),
+            key_fn=self._key_fn(mode),
+        )
+        self._run(state)
+        item = state.items[0]
+        if item.result is None:  # pragma: no cover — single-kind errors raise
+            raise ReproError(item.error or "request produced no result")
+        return item.result
+
+    def answer_many(
+        self,
+        questions: list[str],
+        *,
+        mode: str | PipelineMode | None = None,
+        workers: int | None = None,
+        seed: int = 0,
+        arrivals: list[float] | None = None,
+        client_ids: list[str] | None = None,
+    ) -> BatchResult:
+        """Answer a batch deterministically over a bounded worker pool.
+
+        The chain runs three phases: (1) per-request classification in
+        input order — admission sheds, answer-cache hits, dedupe claims;
+        (2) unique misses execute on the pool, each under its own
+        :class:`~repro.context.RequestContext` (tracer, seeded RNG,
+        deferred cache transaction, shared burn collector); (3) the
+        finish phase replays cache commits in submission order, spends
+        the deferred token burn through one vectorized kernel, and
+        feeds admission outcomes to the AIMD controller.
+
+        Per-question pipeline failures are recorded on their
+        :class:`~repro.service.AnswerResponse` — a batch never aborts
+        mid-flight.  Digests are byte-identical regardless of worker
+        count (DESIGN.md §12).
+        """
+        mode = self.resolve_mode(mode)
+        if workers is None:
+            workers = (
+                self.engine.config.engine.batch_workers if self.engine is not None else 1
+            )
+        if workers <= 0:
+            raise ConfigurationError(f"workers must be positive, got {workers}")
+        n = len(questions)
+        if arrivals is not None and len(arrivals) != n:
+            raise ConfigurationError(
+                f"arrivals has {len(arrivals)} entries for {n} questions"
+            )
+        if client_ids is not None and len(client_ids) != n:
+            raise ConfigurationError(
+                f"client_ids has {len(client_ids)} entries for {n} questions"
+            )
+        arrivals = [0.0] * n if arrivals is None else [float(t) for t in arrivals]
+        client_ids = ["default"] * n if client_ids is None else list(client_ids)
+        state = LifecycleState(
+            service=self,
+            kind=BATCH,
+            mode=mode,
+            requests=[
+                AnswerRequest(
+                    question=question,
+                    mode=mode,
+                    index=i,
+                    client_id=client_ids[i],
+                    arrival=arrivals[i],
+                )
+                for i, question in enumerate(questions)
+            ],
+            registry=self._registry_for(None),
+            seed=seed,
+            workers=workers,
+            arrivals=arrivals,
+            client_ids=client_ids,
+            key_fn=self._key_fn(mode),
+        )
+        self._run(state)
+        return BatchResult(
+            mode=mode,
+            workers=state.workers,
+            seed=seed,
+            items=state.items,
+            decisions=state.decisions,
+            batch_seconds=state.batch_seconds,
+            burn_seconds=state.burn_seconds,
+            deferred_tokens=state.deferred_tokens,
+            cache_sizes=self.engine.cache_sizes() if self.engine is not None else {},
+        )

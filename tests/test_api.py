@@ -28,10 +28,12 @@ PUBLIC_API = [
     "IndexArtifact",
     "ShardedIndexArtifact",
     "QueryEngine",
+    "ReproService",
     "ShardedQueryEngine",
     "get_or_build_index",
     "open_engine",
     "open_pipeline",
+    "open_service",
     "open_support_system",
     "open_workflow",
     "resolve_artifact",

@@ -129,5 +129,9 @@ class TestEmbeddingStoreConsistency:
         mat = emb.embed_documents([d.text for d in docs])
         q = emb.embed_query(query)
         manual = sorted((float(mat[i] @ q) for i in range(len(docs))), reverse=True)
-        got = [round(s, 5) for _, s in hits]
-        assert got == [round(s, 5) for s in manual[: len(got)]]
+        got = [s for _, s in hits]
+        # Tolerance, not rounding: the store scores via one vectorized
+        # float32 matrix product while this recomputes row-wise dots,
+        # and the two accumulation orders/precisions can straddle any
+        # fixed rounding boundary.
+        assert got == pytest.approx(manual[: len(got)], abs=1e-5)
