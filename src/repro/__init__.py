@@ -33,6 +33,7 @@ The ``build_*`` helpers are compatibility wrappers over the
 
 from repro.config import (
     EngineConfig,
+    ReplicationConfig,
     ReproConfig,
     RetrievalConfig,
     ShardingConfig,
@@ -63,6 +64,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "EngineConfig",
+    "ReplicationConfig",
     "ReproConfig",
     "RetrievalConfig",
     "ShardingConfig",

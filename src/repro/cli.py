@@ -61,7 +61,13 @@ from typing import Sequence
 from pathlib import Path
 
 from repro.api import open_service, resolve_artifact
-from repro.config import AdmissionConfig, ReproConfig, RetrievalConfig, ShardingConfig
+from repro.config import (
+    AdmissionConfig,
+    ReplicationConfig,
+    ReproConfig,
+    RetrievalConfig,
+    ShardingConfig,
+)
 from repro.corpus import CorpusBuilder, build_default_corpus
 from repro.durability import recover_journal, scan_journal
 from repro.errors import ReproError
@@ -151,6 +157,18 @@ def _build_parser() -> argparse.ArgumentParser:
              "multiple of admitted capacity plus a torn-write crash recovery "
              "(0 = classic chaos only)",
     )
+    chaos.add_argument(
+        "--shard-fault-rate", type=float, default=0.25,
+        help="per-probe probability that a shard's primary replica fails "
+             "(classic runs need --shards >= 1 to have shard sites; the "
+             "sweep runs its own sharded phase, 0 disables it)",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=2,
+        help="serving copies per shard for the replicated scatter "
+             "(1 = single copy: shard faults degrade coverage instead "
+             "of failing over)",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="run a workload and print the metrics registry"
@@ -164,6 +182,16 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--transient-rate", type=float, default=0.0,
         help="per-call probability of an injected transient error",
+    )
+    metrics.add_argument(
+        "--shard-fault-rate", type=float, default=0.0,
+        help="per-probe probability that a shard's primary replica fails "
+             "(needs --shards >= 1)",
+    )
+    metrics.add_argument(
+        "--replicas", type=int, default=1,
+        help="serving copies per shard (with --shards >= 1); failover and "
+             "health counters land in the measured registry",
     )
 
     batch = sub.add_parser(
@@ -242,6 +270,8 @@ def cmd_ask(args: argparse.Namespace) -> int:
     resilience_note = f" | attempts {result.attempts}" if result.attempts > 1 else ""
     if result.degraded:
         resilience_note += f" | degraded: {','.join(result.degraded)}"
+    if result.coverage < 1.0:
+        resilience_note += f" | coverage {result.coverage:.2f}"
     print(
         f"\n[{result.mode} | {result.model} | rag {1000 * result.rag_seconds:.1f} ms | "
         f"llm {1000 * result.llm_seconds:.1f} ms{resilience_note}]",
@@ -303,17 +333,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         transient_rate=args.transient_rate,
         latency_spike_rate=args.latency_rate,
         truncation_rate=args.truncate_rate,
+        # Shard sites only exist on the sharded serving path; keep the
+        # classic monolithic schedule untouched unless --shards asks.
+        shard_fault_rate=args.shard_fault_rate if args.shards > 0 else 0.0,
     )
+    cfg = _config(args)
+    if args.shards > 0 and args.replicas > 1:
+        cfg.replication = ReplicationConfig(replicas=args.replicas, hedging=True)
     title = f"chaos sweep — {args.mode} ({args.model})"
     if args.overload_factor > 0:
         sweep = run_robustness_sweep(
-            bundle, _config(args), seed=args.seed, fault_config=fault_config,
+            bundle, cfg, seed=args.seed, fault_config=fault_config,
             mode=args.mode, overload_factor=args.overload_factor,
+            shard_fault_rate=args.shard_fault_rate, replicas=args.replicas,
         )
         print(sweep.render(title=title))
         return 0
     run = run_chaos_experiment(
-        bundle, _config(args), seed=args.seed, fault_config=fault_config, mode=args.mode
+        bundle, cfg, seed=args.seed, fault_config=fault_config, mode=args.mode
     )
     print(run.render(title=title))
     return 0
@@ -322,8 +359,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_metrics(args: argparse.Namespace) -> int:
     bundle = build_default_corpus()
     injector = (
-        FaultInjector(args.seed, FaultConfig(transient_rate=args.transient_rate))
-        if args.transient_rate > 0
+        FaultInjector(
+            args.seed,
+            FaultConfig(
+                transient_rate=args.transient_rate,
+                shard_fault_rate=args.shard_fault_rate,
+            ),
+        )
+        if args.transient_rate > 0 or args.shard_fault_rate > 0
         else None
     )
     cfg = _config(args)
@@ -332,15 +375,37 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     # later calls hit), and folding them into the measured registry
     # would break the same-workload digest-equality guarantee.
     artifact = resolve_artifact(bundle, cfg)
+    replicated = isinstance(artifact, ShardedIndexArtifact) and (
+        args.replicas > 1 or args.shard_fault_rate > 0
+    )
+    health = None
     registry = MetricsRegistry()
     traces = []
     with use_registry(registry):
+        store = None
+        if replicated:
+            # Replicated serving view: failover / hedge / health counters
+            # land in the measured registry alongside the workload's.
+            from repro.replication import HealthTracker
+
+            rep = ReplicationConfig(replicas=args.replicas, hedging=args.replicas > 1)
+            health = HealthTracker(rep)
+            wrapper = None
+            if injector is not None and args.shard_fault_rate > 0:
+                wrapper = lambda s, shard, replica: (  # noqa: E731
+                    injector.wrap_store(s, site=f"shard:{shard}")
+                    if replica == 0
+                    else s
+                )
+            store = artifact.fork_store().with_replication(
+                rep, health=health, store_wrapper=wrapper
+            )
         # An engine-less service over a bare pipeline: the chain's
         # engine concerns no-op, so the measured workload is exactly the
         # historical direct-pipeline one.
         service = ReproService.for_pipeline(
             pipeline_from_artifact(
-                artifact, cfg, mode=args.mode, fault_injector=injector
+                artifact, cfg, mode=args.mode, fault_injector=injector, store=store
             )
         )
         for q in krylov_benchmark()[: args.questions]:
@@ -357,18 +422,26 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     span_digest = hashlib.sha256(
         json.dumps([t.structure_digest() for t in traces]).encode()
     ).hexdigest()
-    shard_rows = (
-        artifact.shard_summaries() if isinstance(artifact, ShardedIndexArtifact) else []
-    )
+    shard_rows = []
+    if isinstance(artifact, ShardedIndexArtifact):
+        shard_rows = artifact.shard_summaries(
+            replicas=args.replicas if replicated else 1, health=health
+        )
     if args.json:
+        workload = {
+            "mode": args.mode,
+            "model": args.model,
+            "questions": args.questions,
+            "seed": args.seed,
+            "transient_rate": args.transient_rate,
+        }
+        if replicated:
+            # Only attached on the replicated path: the default JSON
+            # payload stays byte-identical (CI's determinism gate).
+            workload["replicas"] = args.replicas
+            workload["shard_fault_rate"] = args.shard_fault_rate
         payload = {
-            "workload": {
-                "mode": args.mode,
-                "model": args.model,
-                "questions": args.questions,
-                "seed": args.seed,
-                "transient_rate": args.transient_rate,
-            },
+            "workload": workload,
             "digest": registry.digest(),
             "span_digest": span_digest,
             "spans": dict(sorted(span_counts.items())),
@@ -386,11 +459,17 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         if shard_rows:
             print(f"\nshards ({len(shard_rows)}, composite {artifact.digest[:12]}):")
             for row in shard_rows:
-                print(
+                line = (
                     f"  shard {row['shard']}: {row['chunks']:>4} chunks, "
                     f"{row['vectors']:>4} vectors, {row['manual_pages']:>3} pages  "
                     f"[{row['digest'][:12]}]"
                 )
+                if "health" in row:
+                    line += (
+                        f"  replicas={row['replicas']} "
+                        f"health={'/'.join(row['health'])}"
+                    )
+                print(line)
         print(f"\nspans: {dict(sorted(span_counts.items()))}")
         print(f"metrics digest: {registry.digest()}")
         print(f"span digest:    {span_digest}")

@@ -2,7 +2,7 @@
 
 :class:`ReproConfig` is the root: one dataclass nesting every
 subsystem's knobs (retrieval, resilience, observability, engine,
-admission, durability, sharding), with ``to_dict``/``from_dict``
+admission, durability, sharding, replication), with ``to_dict``/``from_dict``
 round-tripping so the CLI, tests, and embedders of the library stop
 threading six separate config objects.  ``WorkflowConfig`` is the
 historical name and remains as an alias.
@@ -284,6 +284,65 @@ class ShardingConfig:
 
 
 @dataclass
+class ReplicationConfig:
+    """Replicated shard serving: health tracking, failover, hedging.
+
+    Each shard serves from ``replicas`` copy-on-write forks of the same
+    shard artifact (byte-identical by construction), tracked by a
+    clock-free up → suspect → down health state machine fed by per-probe
+    outcomes.  The scatter walks replicas in fixed order (primary first,
+    then failover), so under any single-replica-per-shard fault schedule
+    answers, metrics, and span digests match the healthy single-copy
+    baseline byte-for-byte.  When every replica of a shard is down the
+    merge degrades to the surviving shards — or raises
+    :class:`~repro.errors.PartialResultError` when
+    ``require_full_coverage`` is set.
+    """
+
+    #: Serving copies per shard; 1 = no replication (single copy).
+    replicas: int = 1
+    #: Consecutive probe failures that mark a replica *suspect*.
+    suspect_after: int = 1
+    #: Consecutive probe failures that mark a replica *down*.
+    down_after: int = 3
+    #: Selections a down replica sits out before one half-open probe.
+    probe_after: int = 4
+    #: Probe the first backup alongside a *suspect* primary and use its
+    #: result when the primary fails (``repro.replica.hedges`` /
+    #: ``hedge_wins``).
+    hedging: bool = False
+    #: Optional wall-clock hedge trigger: also hedge when the request
+    #: deadline is more than this fraction spent.  Clock-driven, so runs
+    #: using it are excluded from the byte-identical digest guarantee.
+    hedge_deadline_fraction: float | None = None
+    #: Raise :class:`~repro.errors.PartialResultError` instead of serving
+    #: a partial merge when a whole shard is unreachable.
+    require_full_coverage: bool = False
+
+    def validate(self) -> None:
+        if self.replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {self.replicas}")
+        if self.suspect_after < 1:
+            raise ConfigurationError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.down_after < self.suspect_after:
+            raise ConfigurationError(
+                f"down_after must be >= suspect_after, got "
+                f"{self.down_after} < {self.suspect_after}"
+            )
+        if self.probe_after < 1:
+            raise ConfigurationError(f"probe_after must be >= 1, got {self.probe_after}")
+        if self.hedge_deadline_fraction is not None and not (
+            0.0 < self.hedge_deadline_fraction <= 1.0
+        ):
+            raise ConfigurationError(
+                f"hedge_deadline_fraction must be in (0, 1], got "
+                f"{self.hedge_deadline_fraction}"
+            )
+
+
+@dataclass
 class ReproConfig:
     """Root configuration nesting every subsystem's knobs.
 
@@ -301,6 +360,7 @@ class ReproConfig:
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     #: Latency-burn override for the simulated model; None keeps the
     #: persona default, 0 disables the burn (unit tests).
     iterations_per_token: int | None = None
@@ -314,6 +374,7 @@ class ReproConfig:
         self.admission.validate()
         self.durability.validate()
         self.sharding.validate()
+        self.replication.validate()
 
     def to_dict(self) -> dict:
         """Serialize to a plain nested dict (JSON-compatible)."""

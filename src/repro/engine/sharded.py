@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 from repro.index.sharding import ShardedIndexArtifact, get_or_build_sharded_index
 from repro.observability import MetricsRegistry
 from repro.pipeline.types import PipelineMode
+from repro.replication import HealthTracker
 from repro.resilience.faults import FaultInjector
 
 
@@ -43,6 +44,11 @@ class ShardedQueryEngine(QueryEngine):
                 "use QueryEngine for monolithic artifacts"
             )
         super().__init__(artifact, config, **kwargs)
+        # One tracker across every pipeline mode: health is a property
+        # of the serving copies, not of the mode that probed them.
+        self.replica_health = HealthTracker(
+            self.config.replication, registry_fn=self._metrics
+        )
 
     @classmethod
     def from_corpus(
@@ -78,18 +84,52 @@ class ShardedQueryEngine(QueryEngine):
         if mode is PipelineMode.BASELINE:
             return None
         fork = self.artifact.fork_store(embedding=self._query_embedding)
-        return fork.with_serving_context(
+        store = fork.with_serving_context(
             binder=self.binder,
             registry_fn=self._metrics,
             scatter_workers=self.config.sharding.scatter_workers,
         )
+        wrapper = self._replica_fault_wrapper()
+        rep = self.config.replication
+        if rep.replicas > 1 or rep.require_full_coverage or wrapper is not None:
+            store = store.with_replication(
+                rep, health=self.replica_health, store_wrapper=wrapper
+            )
+        return store
+
+    def _replica_fault_wrapper(self):
+        """The seeded shard-outage seam for chaos runs.
+
+        When the engine's fault injector carries a ``shard_fault_rate``,
+        each shard's *primary* replica is wrapped at site ``shard:N`` —
+        modelling a schedule that kills one copy per shard, the regime
+        the digest guarantee covers.  Backups stay healthy, so with
+        ``replicas >= 2`` every fault is absorbed by failover; with a
+        single copy the shard goes dark and coverage degrades.
+        """
+        injector = self.fault_injector
+        if injector is None or injector.config.shard_fault_rate <= 0:
+            return None
+
+        def wrap(store, shard_index: int, replica_index: int):
+            if replica_index > 0:
+                return store
+            return injector.wrap_store(store, site=f"shard:{shard_index}")
+
+        return wrap
 
     def shard_summary(self) -> dict:
         """Shard topology for operators (CLI ``repro metrics``)."""
         artifact: ShardedIndexArtifact = self.artifact
+        rep = self.config.replication
         return {
             "num_shards": artifact.num_shards,
             "composite_digest": artifact.digest,
             "embedding_scope": artifact.fingerprint.get("embedding_scope"),
-            "shards": artifact.shard_summaries(),
+            "replicas": rep.replicas,
+            "hedging": rep.hedging,
+            "replica_health": self.replica_health.snapshot(),
+            "shards": artifact.shard_summaries(
+                replicas=rep.replicas, health=self.replica_health
+            ),
         }

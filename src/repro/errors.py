@@ -111,6 +111,33 @@ class VectorStoreError(ReproError):
     """Vector-store level failure (dimension mismatch, unknown id, ...)."""
 
 
+class PartialResultError(VectorStoreError):
+    """A scatter-gather query could not reach every shard and the caller
+    demanded full coverage (``ReplicationConfig.require_full_coverage``).
+
+    Retry-safe: shard outages are transient by construction — the health
+    tracker keeps probing downed replicas, so a later attempt may see the
+    shard recover.  Callers that prefer availability over completeness
+    should unset ``require_full_coverage`` and consume the degraded
+    result's ``coverage`` instead.
+    """
+
+    retry_safe = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        coverage: float = 0.0,
+        failed_shards: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        #: Fraction of shards that answered, in [0, 1).
+        self.coverage = coverage
+        #: Indices of the shards with no surviving replica.
+        self.failed_shards = tuple(failed_shards)
+
+
 class IndexBuildError(ReproError):
     """Index-artifact construction or cache loading failed.
 

@@ -23,7 +23,7 @@ from repro.durability.journal import Journal, encode_json_record, recover_journa
 from repro.engine import QueryEngine
 from repro.errors import EvaluationError, ReproError, SimulatedCrashError
 from repro.evaluation.benchmark import BenchmarkQuestion, krylov_benchmark
-from repro.observability import MetricsRegistry, use_registry
+from repro.observability import MetricsRegistry, get_registry, use_registry
 from repro.resilience import FaultConfig, FaultInjector, TornWriteInjector
 from repro.utils.rng import rng_for
 
@@ -38,6 +38,8 @@ class ChaosOutcome:
     attempts: int = 1
     degraded: list[str] = field(default_factory=list)
     error: str = ""
+    #: Shard coverage of the answer (1.0 for monolithic/full scatters).
+    coverage: float = 1.0
 
 
 @dataclass
@@ -50,6 +52,9 @@ class ChaosRun:
     outcomes: list[ChaosOutcome] = field(default_factory=list)
     schedule_digest: str = ""
     fault_counts: dict[str, int] = field(default_factory=dict)
+    #: Replication-layer activity during the run (failovers, hedges,
+    #: hedge_wins, partial_queries) — zeros for monolithic configs.
+    replica_stats: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------ metrics
     @property
@@ -61,6 +66,12 @@ class ChaosRun:
         if not self.outcomes:
             raise EvaluationError("empty chaos run")
         return self.answered_count / len(self.outcomes)
+
+    @property
+    def min_coverage(self) -> float:
+        """Worst shard coverage any answered question saw (1.0 when none)."""
+        covered = [o.coverage for o in self.outcomes if o.answered]
+        return min(covered) if covered else 1.0
 
     def degradation_mix(self) -> dict[str, int]:
         """How often each degradation rung fired, plus retry/clean tallies."""
@@ -79,7 +90,13 @@ class ChaosRun:
 
     def results_digest(self) -> str:
         """SHA-256 over the canonical outcomes — byte-identical across
-        runs with the same seed, config, and question set."""
+        runs with the same seed, config, and question set.
+
+        The payload is frozen by the golden suite; partial answers
+        already surface in it through the ``shard:partial`` degradation
+        mark, so ``coverage`` stays out (the shard-fault sweep phase has
+        its own coverage-bearing digest).
+        """
         payload = json.dumps(
             [
                 [o.qid, o.answered, o.answer, o.attempts, o.degraded, o.error]
@@ -108,6 +125,14 @@ class ChaosRun:
             lines.append(f"  {event:<28}{n:>4}")
         injected = {k: v for k, v in self.fault_counts.items() if k != "ok"}
         lines.append(f"injected faults: {injected}")
+        if any(self.replica_stats.values()) or self.min_coverage < 1.0:
+            s = self.replica_stats
+            lines.append(
+                f"replica serving: {s.get('failovers', 0)} failovers, "
+                f"{s.get('hedges', 0)} hedges ({s.get('hedge_wins', 0)} wins), "
+                f"{s.get('partial_queries', 0)} partial queries, "
+                f"min coverage {self.min_coverage:.2f}"
+            )
         lines.append(f"schedule digest: {self.schedule_digest}")
         lines.append(f"results digest:  {self.results_digest()}")
         return "\n".join(lines)
@@ -134,8 +159,20 @@ def run_chaos_experiment(
     # A fault injector disables the engine's answer cache, so every
     # question hits the chaos-wrapped hops and the fault schedule stays
     # a pure function of the seed; the index artifact is still shared.
-    service = QueryEngine.from_corpus(bundle, config, fault_injector=injector).service
+    # The engine comes from the facade, so sharded/replicated configs
+    # run the scatter path (shard faults, failover, partial coverage).
+    from repro.api import open_engine
+
+    service = open_engine(config, bundle=bundle, fault_injector=injector).service
     run = ChaosRun(seed=seed, mode=mode, fault_config=fault_config)
+    replica_counters = (
+        "repro.replica.failovers",
+        "repro.replica.hedges",
+        "repro.replica.hedge_wins",
+        "repro.shard.partial_queries",
+    )
+    ambient = get_registry()
+    before = {name: ambient.counter(name).value for name in replica_counters}
     for q in questions:
         try:
             result = service.answer(q.text, mode=mode)
@@ -155,8 +192,13 @@ def run_chaos_experiment(
                     answer=result.answer,
                     attempts=result.attempts,
                     degraded=[str(e) for e in result.degraded],
+                    coverage=result.coverage,
                 )
             )
+    run.replica_stats = {
+        name.rsplit(".", 1)[-1]: ambient.counter(name).value - before[name]
+        for name in replica_counters
+    }
     run.schedule_digest = injector.schedule_digest()
     run.fault_counts = injector.fault_counts()
     return run
@@ -183,6 +225,27 @@ class OverloadOutcome:
 
 
 @dataclass
+class ShardFaultOutcome:
+    """Replicated shard serving under a seeded shard-outage schedule."""
+
+    shards: int
+    replicas: int
+    fault_rate: float
+    hedging: bool = True
+    total: int = 0
+    answered: int = 0
+    #: Questions answered from fewer shards than the index holds.
+    partial: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    min_coverage: float = 1.0
+    schedule_digest: str = ""
+    results_digest: str = ""
+    error: str = ""
+
+
+@dataclass
 class RecoveryOutcome:
     """One seeded torn-write crash and what recovery salvaged."""
 
@@ -204,11 +267,13 @@ class RobustnessRun:
     chaos: ChaosRun
     overload: OverloadOutcome
     recovery: RecoveryOutcome
+    #: Added by the replication PR; None only for hand-built runs.
+    shard_faults: ShardFaultOutcome | None = None
 
     def digest(self) -> str:
         """SHA-256 over every decision the sweep made (paths excluded):
         same seed and inputs → byte-identical digest."""
-        o, r = self.overload, self.recovery
+        o, r, s = self.overload, self.recovery, self.shard_faults
         payload = json.dumps(
             [
                 self.chaos.results_digest(),
@@ -217,6 +282,12 @@ class RobustnessRun:
                  o.retry_after_ok, o.answers_digest, o.metrics_digest, o.error],
                 [r.records_written, r.crash_record, r.cut_at, r.recovered,
                  r.dropped_bytes, r.prefix_ok, r.reason],
+                None if s is None else [
+                    s.shards, s.replicas, round(s.fault_rate, 6), s.hedging,
+                    s.total, s.answered, s.partial, s.failovers, s.hedges,
+                    s.hedge_wins, round(s.min_coverage, 6),
+                    s.schedule_digest, s.results_digest, s.error,
+                ],
             ],
             separators=(",", ":"),
         )
@@ -224,6 +295,15 @@ class RobustnessRun:
 
     def render(self, *, title: str = "") -> str:
         lines = [self.chaos.render(title=title), ""]
+        if self.shard_faults is not None:
+            s = self.shard_faults
+            lines.append(
+                f"shard faults ({s.shards} shards × {s.replicas} replicas, "
+                f"rate {s.fault_rate:.0%}): {s.answered}/{s.total} answered, "
+                f"{s.failovers} failovers, {s.hedges} hedges "
+                f"({s.hedge_wins} wins), {s.partial} partial, "
+                f"min coverage {s.min_coverage:.2f}"
+            )
         o = self.overload
         lines.append(
             f"overload {o.factor}x: {o.admitted} admitted ({o.queued} via queue), "
@@ -284,6 +364,77 @@ def _run_overload_phase(
     return outcome
 
 
+def _run_shard_fault_phase(
+    bundle: CorpusBundle,
+    config: WorkflowConfig,
+    *,
+    seed: int,
+    questions: list[BenchmarkQuestion],
+    mode: str,
+    shard_fault_rate: float,
+    replicas: int,
+) -> ShardFaultOutcome:
+    """Serve the benchmark while a seeded schedule kills shard primaries.
+
+    The engine wraps every shard's primary replica at site ``shard:N``
+    (see :meth:`ShardedQueryEngine._replica_fault_wrapper`); with
+    ``replicas >= 2`` failover absorbs each outage, with a single copy
+    the shard goes dark and answers degrade to partial coverage.
+    Questions are answered sequentially so the fault schedule — and
+    therefore the digest — is a pure function of the seed.
+    """
+    from repro.engine import ShardedQueryEngine
+
+    num_shards = config.sharding.num_shards or 2
+    cfg = replace(
+        config,
+        sharding=replace(config.sharding, num_shards=num_shards),
+        replication=replace(
+            config.replication, replicas=replicas, hedging=replicas > 1
+        ),
+    )
+    outcome = ShardFaultOutcome(
+        shards=num_shards,
+        replicas=replicas,
+        fault_rate=shard_fault_rate,
+        hedging=replicas > 1,
+        total=len(questions),
+    )
+    injector = FaultInjector(seed, FaultConfig(shard_fault_rate=shard_fault_rate))
+    registry = MetricsRegistry()
+    results: list[list] = []
+    try:
+        service = ShardedQueryEngine.from_corpus(
+            bundle, cfg, fault_injector=injector
+        ).service
+        with use_registry(registry):
+            for q in questions:
+                try:
+                    result = service.answer(q.text, mode=mode)
+                except ReproError as exc:
+                    results.append([q.qid, False, "", f"{type(exc).__name__}: {exc}", 0.0])
+                else:
+                    outcome.answered += 1
+                    coverage = round(result.coverage, 6)
+                    if coverage < 1.0:
+                        outcome.partial += 1
+                    outcome.min_coverage = min(outcome.min_coverage, coverage)
+                    results.append(
+                        [q.qid, True, result.answer,
+                         [str(e) for e in result.degraded], coverage]
+                    )
+    except ReproError as exc:  # the sweep reports, never aborts
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+    outcome.failovers = registry.counter("repro.replica.failovers").value
+    outcome.hedges = registry.counter("repro.replica.hedges").value
+    outcome.hedge_wins = registry.counter("repro.replica.hedge_wins").value
+    outcome.schedule_digest = injector.schedule_digest()
+    payload = json.dumps(results, separators=(",", ":"))
+    outcome.results_digest = hashlib.sha256(payload.encode()).hexdigest()
+    return outcome
+
+
 def _run_recovery_phase(
     *, seed: int, journal_dir: str | Path | None
 ) -> RecoveryOutcome:
@@ -337,14 +488,19 @@ def run_robustness_sweep(
     overload_factor: int = 16,
     questions: list[BenchmarkQuestion] | None = None,
     journal_dir: str | Path | None = None,
+    shard_fault_rate: float = 0.25,
+    replicas: int = 2,
 ) -> RobustnessRun:
-    """Chaos faults, an overload burst, and a torn-write crash, one seed.
+    """Chaos faults, shard outages, overload, and a torn-write crash.
 
-    The three phases exercise the full robustness surface: injected hop
-    faults (retries, degradation), admission shedding at
-    ``overload_factor``× capacity, and journal recovery after a seeded
-    torn write.  Everything digest-relevant is a pure function of the
-    seed and inputs — :meth:`RobustnessRun.digest` is stable across runs.
+    The four phases exercise the full robustness surface: injected hop
+    faults (retries, degradation), a seeded shard-outage schedule
+    against the replicated scatter (failover, hedging, partial
+    coverage — skipped when ``shard_fault_rate`` is 0), admission
+    shedding at ``overload_factor``× capacity, and journal recovery
+    after a seeded torn write.  Everything digest-relevant is a pure
+    function of the seed and inputs — :meth:`RobustnessRun.digest` is
+    stable across runs.
     """
     config = config or WorkflowConfig(iterations_per_token=0)
     questions = questions if questions is not None else krylov_benchmark()
@@ -352,9 +508,18 @@ def run_robustness_sweep(
         bundle, config, seed=seed, fault_config=fault_config,
         mode=mode, questions=questions,
     )
+    shard_faults = None
+    if shard_fault_rate > 0:
+        shard_faults = _run_shard_fault_phase(
+            bundle, config, seed=seed, questions=questions, mode=mode,
+            shard_fault_rate=shard_fault_rate, replicas=replicas,
+        )
     overload = _run_overload_phase(
         bundle, config, seed=seed, factor=overload_factor,
         questions=questions, mode=mode,
     )
     recovery = _run_recovery_phase(seed=seed, journal_dir=journal_dir)
-    return RobustnessRun(seed=seed, chaos=chaos, overload=overload, recovery=recovery)
+    return RobustnessRun(
+        seed=seed, chaos=chaos, overload=overload, recovery=recovery,
+        shard_faults=shard_faults,
+    )

@@ -27,6 +27,7 @@ import hashlib
 import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.config import WorkflowConfig
 from repro.corpus.builder import CorpusBundle, chunk_corpus
@@ -49,6 +50,9 @@ from repro.index.builder import (
 from repro.observability import get_registry, use_registry
 from repro.vectorstore.sharded import ShardedVectorStore, shard_for_document
 from repro.vectorstore.store import VectorStore
+
+if TYPE_CHECKING:
+    from repro.replication import HealthTracker
 
 #: Tag for models whose vectors do not depend on the fitted corpus.
 CORPUS_FREE_SCOPE = "corpus-free"
@@ -158,18 +162,32 @@ class ShardedIndexArtifact(IndexArtifact):
         out["shard_digests"] = [s.digest for s in self.shards]
         return out
 
-    def shard_summaries(self) -> list[dict]:
-        """Per-shard inspection rows (CLI ``repro metrics`` shard table)."""
-        return [
-            {
+    def shard_summaries(
+        self, *, replicas: int = 1, health: "HealthTracker | None" = None
+    ) -> list[dict]:
+        """Per-shard inspection rows (CLI ``repro metrics`` shard table).
+
+        With a serving topology attached, each row also reports the
+        replica count and the health tracker's per-replica states (a
+        replica never probed is up by definition).
+        """
+        rows = []
+        for i, s in enumerate(self.shards):
+            row = {
                 "shard": i,
                 "digest": s.digest,
                 "chunks": len(s.chunks),
                 "manual_pages": len(s.manual_pages),
                 "vectors": len(s.store),
             }
-            for i, s in enumerate(self.shards)
-        ]
+            if replicas > 1 or health is not None:
+                row["replicas"] = replicas
+                if health is not None:
+                    row["health"] = [
+                        health.state(i, r).value for r in range(replicas)
+                    ]
+            rows.append(row)
+        return rows
 
 
 def compute_composite_digest(

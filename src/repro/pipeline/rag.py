@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.config import WorkflowConfig
 from repro.context import RequestContext
 from repro.corpus.builder import CorpusBundle
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, PartialResultError, ReproError
 from repro.llm import ChatMessage, ChatModel, CompletionResult, create_chat_model
 from repro.observability import MetricsRegistry, Trace, Tracer, get_registry, stage
 from repro.pipeline.types import DegradationEvent, PipelineMode
@@ -54,6 +54,11 @@ class PipelineResult:
     attempts: int = 1
     #: Degradation-ladder rungs taken (serialize to their wire strings).
     degraded: list[DegradationEvent] = field(default_factory=list)
+    #: Fraction of index shards that answered the retrieval scatter
+    #: (1.0 for monolithic indexes and fully healthy scatters; < 1.0
+    #: when every replica of some shard was down and the merge degraded
+    #: to the survivors — mirrored by ``shard:partial`` in ``degraded``).
+    coverage: float = 1.0
     #: The span tree of this invocation; timings below derive from it.
     trace: Trace | None = None
 
@@ -273,6 +278,7 @@ class RAGPipeline:
         candidates: list[RetrievedDocument] = []
         contexts: list[RetrievedDocument] = []
         located = False
+        coverage = 1.0
         try:
             with tracer.trace(
                 "pipeline", mode=str(self.mode), model=self.chat_model.name
@@ -294,8 +300,17 @@ class RAGPipeline:
                         ):
                             candidates = self._locate(question, ctx)
                         located = True
+                    except PartialResultError:
+                        # The caller demanded full shard coverage; no
+                        # ladder rung can supply the missing shards, so
+                        # the typed error propagates instead of silently
+                        # degrading to the baseline prompt.
+                        raise
                     except ReproError:
                         degrade(DegradationEvent.RETRIEVAL_BASELINE_FALLBACK)
+                    coverage = float(ctx.scratch.pop("shard_coverage", 1.0))
+                    if located and coverage < 1.0:
+                        degrade(DegradationEvent.SHARD_PARTIAL)
                     if located:
                         try:
                             with stage(
@@ -354,6 +369,7 @@ class RAGPipeline:
             completion=completion,
             attempts=attempts,
             degraded=degraded,
+            coverage=coverage,
             trace=trace,
         )
 

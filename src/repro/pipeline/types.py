@@ -46,6 +46,9 @@ class DegradationEvent(str, enum.Enum):
     RETRIEVAL_BASELINE_FALLBACK = "retrieval:baseline-fallback"
     RERANK_TRUNCATE = "rerank:truncate"
     LLM_TRUNCATED = "llm:truncated"
+    #: Retrieval merged fewer shards than the index holds (every replica
+    #: of at least one shard was down); the result's ``coverage`` < 1.
+    SHARD_PARTIAL = "shard:partial"
 
     __str__ = str.__str__
     __format__ = str.__format__

@@ -1,0 +1,141 @@
+"""Clock-free replica health tracking for the sharded serving path.
+
+:class:`HealthTracker` is the replication analogue of
+:class:`~repro.admission.limiter.TokenBucket`: it never reads a clock.
+Every transition is a pure fold over the per-replica sequence of probe
+outcomes (:meth:`HealthTracker.record_success` /
+:meth:`~HealthTracker.record_failure`) and selection skips
+(:meth:`~HealthTracker.should_probe`), so two runs that see the same
+fault schedule walk byte-identical state machines — which is what keeps
+failover digest-stable.
+
+State machine per ``(shard, replica)`` key::
+
+    UP --failures >= suspect_after--> SUSPECT
+    SUSPECT --failures >= down_after--> DOWN
+    DOWN --probe_after skipped selections--> one half-open probe
+    any --probe success--> UP
+
+A *down* replica is skipped by the failover walk; after sitting out
+``probe_after`` selections it is offered one half-open probe (the
+circuit-breaker idiom, counted in attempts instead of seconds).  A
+single success fully recovers the replica.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Callable
+
+from repro.config import ReplicationConfig
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+
+class ReplicaState(str, enum.Enum):
+    """Health of one serving replica; values are wire/CLI strings."""
+
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+class _Cell:
+    """Mutable health record for one ``(shard, replica)`` key."""
+
+    __slots__ = ("state", "failures", "skips")
+
+    def __init__(self) -> None:
+        self.state = ReplicaState.UP
+        #: Consecutive probe failures since the last success.
+        self.failures = 0
+        #: Selections sat out while down, toward the half-open probe.
+        self.skips = 0
+
+
+class HealthTracker:
+    """Attempt-count-based up → suspect → down tracker per replica.
+
+    Thread-safe: the scatter probes shards on a worker pool, and each
+    shard's walk mutates only its own ``(shard, replica)`` cells, so
+    per-key state stays a deterministic fold even under a parallel
+    scatter.  Transitions are counted in ``repro.replica.marked_suspect``
+    / ``marked_down`` / ``recovered``.
+    """
+
+    def __init__(
+        self,
+        config: ReplicationConfig | None = None,
+        *,
+        registry_fn: Callable[[], MetricsRegistry] | None = None,
+    ) -> None:
+        self.config = config if config is not None else ReplicationConfig()
+        self.config.validate()
+        self._registry_fn = registry_fn if registry_fn is not None else get_registry
+        self._lock = threading.Lock()
+        self._cells: dict[tuple[int, int], _Cell] = {}
+
+    def _cell(self, shard: int, replica: int) -> _Cell:
+        return self._cells.setdefault((shard, replica), _Cell())
+
+    def state(self, shard: int, replica: int) -> ReplicaState:
+        with self._lock:
+            return self._cell(shard, replica).state
+
+    def record_success(self, shard: int, replica: int) -> None:
+        """A probe answered: the replica is fully up again."""
+        with self._lock:
+            cell = self._cell(shard, replica)
+            recovered = cell.state is not ReplicaState.UP
+            cell.state = ReplicaState.UP
+            cell.failures = 0
+            cell.skips = 0
+        if recovered:
+            self._registry_fn().counter("repro.replica.recovered").inc()
+
+    def record_failure(self, shard: int, replica: int) -> None:
+        """A probe failed: advance toward suspect/down thresholds."""
+        with self._lock:
+            cell = self._cell(shard, replica)
+            cell.failures += 1
+            previous = cell.state
+            if cell.failures >= self.config.down_after:
+                cell.state = ReplicaState.DOWN
+                if previous is not ReplicaState.DOWN:
+                    cell.skips = 0
+            elif cell.failures >= self.config.suspect_after:
+                cell.state = ReplicaState.SUSPECT
+            transition = (previous, cell.state)
+        if transition[0] is not ReplicaState.DOWN and transition[1] is ReplicaState.DOWN:
+            self._registry_fn().counter("repro.replica.marked_down").inc()
+        elif transition[0] is ReplicaState.UP and transition[1] is ReplicaState.SUSPECT:
+            self._registry_fn().counter("repro.replica.marked_suspect").inc()
+
+    def should_probe(self, shard: int, replica: int) -> bool:
+        """Whether the failover walk may try this replica this selection.
+
+        Up/suspect replicas always may.  A down replica sits out
+        ``probe_after`` selections and then gets one half-open probe;
+        the probe's outcome (success → up, failure → down again) decides
+        what happens next — all counted in attempts, never in seconds.
+        """
+        with self._lock:
+            cell = self._cell(shard, replica)
+            if cell.state is not ReplicaState.DOWN:
+                return True
+            cell.skips += 1
+            if cell.skips >= self.config.probe_after:
+                cell.skips = 0
+                return True
+            return False
+
+    def snapshot(self) -> dict[int, list[str]]:
+        """Replica states per shard (for the CLI shard table)."""
+        with self._lock:
+            grouped: dict[int, list[tuple[int, str]]] = {}
+            for (shard, replica), cell in self._cells.items():
+                grouped.setdefault(shard, []).append((replica, cell.state.value))
+        return {
+            shard: [state for _, state in sorted(pairs)]
+            for shard, pairs in sorted(grouped.items())
+        }

@@ -1,0 +1,133 @@
+"""Ordered serving replicas for one shard: failover walk + hedged probes.
+
+A :class:`ReplicaSet` holds the replicas of a single shard in a fixed
+order — replica 0 is the primary, the rest are copy-on-write forks of
+the same shard store, byte-identical by construction.  A query walks
+the healthy replicas in that order and returns the first answer, so a
+fault schedule that kills one replica per shard changes *which copy*
+answered (and the ``repro.replica.*`` counters) but never the answer
+itself: no span events are emitted on the failover path, which is what
+keeps answers, metrics, and span digests byte-identical to the healthy
+single-copy baseline.
+
+Hedging, when enabled, probes the first backup *alongside* a primary
+whose health is already suspect (or once the request deadline is mostly
+spent — the one wall-clock trigger, off by default).  The hedge is
+accounted in ``repro.replica.hedges`` and, when the backup's answer is
+the one used, ``repro.replica.hedge_wins``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import TransientError, VectorStoreError
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.replication.health import HealthTracker, ReplicaState
+
+if TYPE_CHECKING:
+    from repro.documents import Document
+
+
+class ReplicaSet:
+    """The serving copies of one shard, probed with deterministic failover."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        replicas: list,
+        health: HealthTracker,
+        *,
+        hedging: bool = False,
+        registry_fn: Callable[[], MetricsRegistry] | None = None,
+    ) -> None:
+        if not replicas:
+            raise VectorStoreError(
+                f"replica set for shard {shard_index} needs at least one replica"
+            )
+        self.shard_index = shard_index
+        self.replicas = list(replicas)
+        self.health = health
+        self.hedging = hedging
+        self._registry_fn = registry_fn if registry_fn is not None else get_registry
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    def probe_order(self) -> list[int]:
+        """Replica indices the walk may try, primary first, down skipped.
+
+        Consuming: asking advances every down replica's skip counter
+        toward its half-open probe, so call once per query.
+        """
+        return [
+            replica
+            for replica in range(len(self.replicas))
+            if self.health.should_probe(self.shard_index, replica)
+        ]
+
+    def top_k(
+        self,
+        qvec: np.ndarray,
+        k: int,
+        where: dict | None,
+        *,
+        deadline_pressure: bool = False,
+    ) -> "list[tuple[Document, float]] | None":
+        """This shard's top-k from the first replica that answers.
+
+        Returns ``None`` when no replica answers (every copy down or
+        failing) — the composite store degrades the merge to the
+        surviving shards and reports partial coverage.
+        """
+        registry = self._registry_fn()
+        order = self.probe_order()
+        hedge_replica: int | None = None
+        hedge_hits: "list[tuple[Document, float]] | None" = None
+        hedge_ok = False
+        if (
+            self.hedging
+            and len(order) > 1
+            and (
+                deadline_pressure
+                or self.health.state(self.shard_index, order[0]) is ReplicaState.SUSPECT
+            )
+        ):
+            hedge_replica = order[1]
+            registry.counter("repro.replica.hedges").inc()
+            hedge_hits, hedge_ok = self._probe(hedge_replica, qvec, k, where, registry)
+        for position, replica in enumerate(order):
+            if replica == hedge_replica:
+                hits, ok = hedge_hits, hedge_ok
+                if ok and position > 0:
+                    registry.counter("repro.replica.hedge_wins").inc()
+            else:
+                if position > 0:
+                    registry.counter("repro.replica.failovers").inc()
+                hits, ok = self._probe(replica, qvec, k, where, registry)
+            if ok:
+                return hits
+        return None
+
+    def _probe(
+        self,
+        replica: int,
+        qvec: np.ndarray,
+        k: int,
+        where: dict | None,
+        registry: MetricsRegistry,
+    ) -> "tuple[list[tuple[Document, float]] | None, bool]":
+        from repro.vectorstore.sharded import _shard_top_k
+
+        registry.counter("repro.replica.probes").inc()
+        try:
+            hits = _shard_top_k(self.replicas[replica], qvec, k, where)
+        except (TransientError, VectorStoreError):
+            self.health.record_failure(self.shard_index, replica)
+            registry.counter("repro.replica.probe_failures").inc()
+            return None, False
+        self.health.record_success(self.shard_index, replica)
+        return hits, True

@@ -44,18 +44,25 @@ TRUNCATE = "truncate"
 
 @dataclass(frozen=True)
 class FaultConfig:
-    """Per-call injection rates; the three rates must sum to <= 1."""
+    """Per-call injection rates; the three rates must sum to <= 1.
+
+    ``shard_fault_rate`` is a separate site class: the transient-failure
+    rate applied at per-shard store sites (``shard:3``) by
+    :meth:`FaultInjector.wrap_store`, independent of the hop-rate trio.
+    """
 
     transient_rate: float = 0.0
     latency_spike_rate: float = 0.0
     truncation_rate: float = 0.0
     latency_spike_seconds: float = 0.75
+    shard_fault_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for label, rate in (
             ("transient_rate", self.transient_rate),
             ("latency_spike_rate", self.latency_spike_rate),
             ("truncation_rate", self.truncation_rate),
+            ("shard_fault_rate", self.shard_fault_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(f"{label} must be in [0, 1], got {rate}")
@@ -87,12 +94,17 @@ class FaultInjector:
         self._events: list[FaultEvent] = []
 
     # ------------------------------------------------------------ decisions
-    def decide(self, site: str) -> str:
-        """The fault kind for the next call at ``site`` (deterministic)."""
+    def decide(self, site: str, *, rates: FaultConfig | None = None) -> str:
+        """The fault kind for the next call at ``site`` (deterministic).
+
+        ``rates`` overrides the rate table for this call (per-shard
+        store sites fault at ``shard_fault_rate``, not the hop trio);
+        the draw, counter, and recorded schedule are shared either way.
+        """
         n = self._counters.get(site, 0)
         self._counters[site] = n + 1
         u = float(rng_for(_FAULT_NS, self.seed, site, n).random())
-        c = self.config
+        c = rates if rates is not None else self.config
         if u < c.transient_rate:
             kind = TRANSIENT
         elif u < c.transient_rate + c.latency_spike_rate:
@@ -106,8 +118,8 @@ class FaultInjector:
             get_registry().counter(f"repro.resilience.faults_{kind}").inc()
         return kind
 
-    def _maybe_raise(self, site: str) -> str:
-        kind = self.decide(site)
+    def _maybe_raise(self, site: str, *, rates: FaultConfig | None = None) -> str:
+        kind = self.decide(site, rates=rates)
         if kind == TRANSIENT:
             n = self._counters[site] - 1
             raise TransientError(f"injected transient fault at {site!r} (call {n})")
@@ -151,6 +163,28 @@ class FaultInjector:
 
     def wrap_reranker(self, reranker: Reranker, *, site: str = "reranker") -> "FaultyReranker":
         return FaultyReranker(reranker, injector=self, site=site)
+
+    def wrap_store(
+        self, store, *, site: str, transient_rate: float | None = None
+    ) -> "FaultyVectorStore":
+        """Chaos-wrap a shard store at a per-shard site like ``shard:3``.
+
+        Store faults are transient-only (a dead copy either answers or
+        it does not) and fault at ``transient_rate`` when given, else
+        ``config.shard_fault_rate`` — so shard outages join the seeded
+        schedule/digest machinery without disturbing the hop-rate trio.
+        """
+        rate = (
+            transient_rate
+            if transient_rate is not None
+            else self.config.shard_fault_rate
+        )
+        return FaultyVectorStore(
+            store,
+            injector=self,
+            site=site,
+            rates=FaultConfig(transient_rate=rate),
+        )
 
 
 class CrashPointInjector:
@@ -234,6 +268,61 @@ class FaultyChatModel(ChatModel):
             result.text = result.text[: max(1, len(result.text) // 2)].rstrip()
             result.finish_reason = "length"
         return result
+
+
+class FaultyVectorStore:
+    """A shard replica behind a flaky transport.
+
+    Only search probes fault (the scatter path is what failover
+    protects); mutations and lookups delegate untouched, so a wrapped
+    replica stays byte-identical to its siblings under writes.
+    """
+
+    def __init__(
+        self, inner, *, injector: FaultInjector, site: str, rates: FaultConfig
+    ) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.site = site
+        self._rates = rates
+
+    @property
+    def embedding(self):
+        return self.inner.embedding
+
+    @property
+    def collection_name(self):
+        return self.inner.collection_name
+
+    def similarity_search_by_vector_with_score(self, qvec, *, k=4, where=None):
+        self.injector._maybe_raise(self.site, rates=self._rates)
+        return self.inner.similarity_search_by_vector_with_score(qvec, k=k, where=where)
+
+    def similarity_search_with_score(self, query, *, k=4, where=None):
+        self.injector._maybe_raise(self.site, rates=self._rates)
+        return self.inner.similarity_search_with_score(query, k=k, where=where)
+
+    def similarity_search(self, query, *, k=4, where=None):
+        return [
+            doc for doc, _ in self.similarity_search_with_score(query, k=k, where=where)
+        ]
+
+    def add_documents(self, documents):
+        return self.inner.add_documents(documents)
+
+    def delete(self, ids):
+        return self.inner.delete(ids)
+
+    def get(self, doc_id):
+        return self.inner.get(doc_id)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def fork(self, *, embedding=None):
+        # Forks are fresh healthy copies: the flaky transport belongs to
+        # this serving replica, not to the data it carries.
+        return self.inner.fork(embedding=embedding)
 
 
 class FaultyRetriever(Retriever):

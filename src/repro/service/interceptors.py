@@ -231,6 +231,7 @@ class _CachedAnswer:
     completion: object
     attempts: int
     degraded: tuple
+    coverage: float = 1.0
 
     @classmethod
     def from_result(cls, result: PipelineResult) -> "_CachedAnswer":
@@ -243,6 +244,7 @@ class _CachedAnswer:
             completion=result.completion,
             attempts=result.attempts,
             degraded=tuple(result.degraded),
+            coverage=result.coverage,
         )
 
 
@@ -304,6 +306,7 @@ class AnswerCacheInterceptor(Interceptor):
             completion=payload.completion,
             attempts=payload.attempts,
             degraded=list(payload.degraded),
+            coverage=payload.coverage,
             trace=trace,
         )
 

@@ -91,6 +91,16 @@ class AnswerResponse:
     def answered(self) -> bool:
         return self.result is not None
 
+    @property
+    def coverage(self) -> float:
+        """Shard coverage of the answer (1.0 = every shard answered).
+
+        Unanswered items report 0.0 — nothing was retrieved at all.
+        Not part of the frozen digest payload: partial answers already
+        surface there through the ``shard:partial`` degradation mark.
+        """
+        return self.result.coverage if self.result is not None else 0.0
+
     def trace_or_result_trace(self) -> Trace | None:
         """The item-level trace wins: it is per-item even when the
         pipeline result (and its trace) is shared with a dedupe primary."""
@@ -127,6 +137,17 @@ class BatchResult:
     @property
     def answered_count(self) -> int:
         return sum(1 for it in self.items if it.answered)
+
+    @property
+    def partial_count(self) -> int:
+        """Answers served from fewer shards than the index holds."""
+        return sum(1 for it in self.items if it.answered and it.coverage < 1.0)
+
+    @property
+    def min_coverage(self) -> float:
+        """The worst shard coverage any answered item saw (1.0 when none)."""
+        covered = [it.coverage for it in self.items if it.answered]
+        return min(covered) if covered else 1.0
 
     @property
     def cached_count(self) -> int:
@@ -198,6 +219,8 @@ class BatchResult:
                 if it.result.attempts > 1:
                     flags.append(f"attempts={it.result.attempts}")
                 flags.extend(str(e) for e in it.result.degraded)
+                if it.result.coverage < 1.0:
+                    flags.append(f"coverage={it.result.coverage:.2f}")
                 status = f"{it.result.mode}" + (f"  [{', '.join(flags)}]" if flags else "")
             lines.append(f"  {it.index + 1:>3}. {status}  {it.question[:56]}")
             if show_answers and it.result is not None:
@@ -212,6 +235,11 @@ class BatchResult:
             f"deferred llm tokens: {self.deferred_tokens} "
             f"(vectorized flush {1000 * self.burn_seconds:.1f} ms)"
         )
+        if self.partial_count:
+            lines.append(
+                f"partial coverage: {self.partial_count} answer(s) from "
+                f"surviving shards only (min coverage {self.min_coverage:.2f})"
+            )
         if self.decisions is not None:
             admitted = sum(1 for d in self.decisions if d.outcome == ADMIT)
             lines.append(

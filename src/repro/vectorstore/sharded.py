@@ -29,13 +29,15 @@ import numpy as np
 
 from repro.documents import Document
 from repro.embeddings.base import EmbeddingModel
-from repro.errors import VectorStoreError
+from repro.errors import PartialResultError, VectorStoreError
 from repro.observability.metrics import MetricsRegistry, get_registry
 from repro.utils.rng import stable_hash
 from repro.vectorstore.store import VectorStore, mmr_search
 
 if TYPE_CHECKING:
+    from repro.config import ReplicationConfig
     from repro.engine.caches import ContextBinder
+    from repro.replication import HealthTracker, ReplicaSet
 
 #: Hash namespace for the shard planner; changing it repartitions every
 #: corpus, so it is part of the sharded-artifact digest contract.
@@ -94,6 +96,8 @@ class ShardedVectorStore:
         scatter_workers: int = 0,
         binder: "ContextBinder | None" = None,
         registry_fn: Callable[[], MetricsRegistry] | None = None,
+        replica_sets: "list[ReplicaSet] | None" = None,
+        replication: "ReplicationConfig | None" = None,
     ) -> None:
         if not shards:
             raise VectorStoreError("a sharded store needs at least one shard")
@@ -102,16 +106,29 @@ class ShardedVectorStore:
                 raise VectorStoreError(
                     f"shard {i} dim {shard.embedding.dim} != embedding dim {embedding.dim}"
                 )
+        if replica_sets is not None and len(replica_sets) != len(shards):
+            raise VectorStoreError(
+                f"{len(replica_sets)} replica set(s) for {len(shards)} shard(s)"
+            )
         self.shards = list(shards)
         self.embedding = embedding
         self.collection_name = collection_name
         self.scatter_workers = scatter_workers
         self.binder = binder
         self._registry_fn = registry_fn if registry_fn is not None else get_registry
+        self.replica_sets = replica_sets
+        self.replication = replication
 
     @property
     def num_shards(self) -> int:
         return len(self.shards)
+
+    @property
+    def num_replicas(self) -> int:
+        """Serving copies per shard (1 when replication is off)."""
+        if self.replica_sets is None:
+            return 1
+        return self.replica_sets[0].num_replicas
 
     # ------------------------------------------------------------ search
     def similarity_search_with_score(
@@ -133,29 +150,114 @@ class ShardedVectorStore:
             # One constant-named child span regardless of shard count:
             # shard details ride in attributes, which the span-structure
             # digest excludes, so the digest contract holds at any N.
+            # Failover/hedging likewise report through attributes and
+            # ``repro.replica.*`` counters only — never span events — so
+            # a rescued query digests identically to a healthy one.
             with ctx.tracer.span("scatter", shards=self.num_shards, k=k) as span:
-                merged = self._scatter(qvec, k, where)
-                span.attributes["candidates"] = len(merged)
+                out = self._gather(qvec, k, where, ctx, registry, span)
         else:
-            merged = self._scatter(qvec, k, where)
-        merged.sort(key=lambda pair: (-pair[1], pair[0].doc_id))
-        out = merged[:k]
+            out = self._gather(qvec, k, where, ctx, registry, None)
         registry.counter("repro.shard.merged").inc(len(out))
         return out
 
+    def _gather(
+        self,
+        qvec: np.ndarray,
+        k: int,
+        where: dict | None,
+        ctx,
+        registry: MetricsRegistry,
+        span,
+    ) -> list[tuple[Document, float]]:
+        """Merge the scatter; degrade (or raise) when shards went dark."""
+        per_shard = self._scatter(qvec, k, where)
+        merged = [hit for hits in per_shard if hits is not None for hit in hits]
+        if span is not None:
+            span.attributes["candidates"] = len(merged)
+        failed = [index for index, hits in enumerate(per_shard) if hits is None]
+        coverage = (self.num_shards - len(failed)) / self.num_shards
+        if failed:
+            registry.counter("repro.shard.partial_queries").inc()
+            registry.counter("repro.shard.unanswered").inc(len(failed))
+            if span is not None:
+                # The one deliberate digest change for partial results:
+                # partial runs are compared rerun-vs-rerun, never against
+                # the full-coverage baseline.
+                span.attributes["coverage"] = round(coverage, 6)
+                ctx.tracer.event(
+                    "shard:partial",
+                    coverage=round(coverage, 6),
+                    failed_shards=",".join(str(index) for index in failed),
+                )
+            if self.replication is not None and self.replication.require_full_coverage:
+                raise PartialResultError(
+                    f"{len(failed)}/{self.num_shards} shard(s) unreachable "
+                    f"(no surviving replica): {failed}",
+                    coverage=coverage,
+                    failed_shards=tuple(failed),
+                )
+        if ctx is not None:
+            previous = float(ctx.scratch.get("shard_coverage", 1.0))
+            ctx.scratch["shard_coverage"] = min(previous, coverage)
+        merged.sort(key=lambda pair: (-pair[1], pair[0].doc_id))
+        return merged[:k]
+
     def _scatter(
         self, qvec: np.ndarray, k: int, where: dict | None
-    ) -> list[tuple[Document, float]]:
-        if self.scatter_workers > 1 and self.num_shards > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(self.scatter_workers, self.num_shards)
-            ) as pool:
-                per_shard = list(
-                    pool.map(lambda s: _shard_top_k(s, qvec, k, where), self.shards)
+    ) -> "list[list[tuple[Document, float]] | None]":
+        hedge_pressure = (
+            self._deadline_pressure() if self.replica_sets is not None else False
+        )
+        if self.num_shards == 1 or self.scatter_workers <= 1:
+            # Fast serial path: pool setup dominates single-shard probes.
+            return [
+                self._probe_shard(index, qvec, k, where, hedge_pressure)
+                for index in range(self.num_shards)
+            ]
+        with ThreadPoolExecutor(
+            max_workers=min(self.scatter_workers, self.num_shards)
+        ) as pool:
+            return list(
+                pool.map(
+                    lambda index: self._probe_shard(index, qvec, k, where, hedge_pressure),
+                    range(self.num_shards),
                 )
-        else:
-            per_shard = [_shard_top_k(s, qvec, k, where) for s in self.shards]
-        return [hit for hits in per_shard for hit in hits]
+            )
+
+    def _probe_shard(
+        self,
+        index: int,
+        qvec: np.ndarray,
+        k: int,
+        where: dict | None,
+        hedge_pressure: bool,
+    ) -> "list[tuple[Document, float]] | None":
+        """One shard's top-k; ``None`` when no replica answered.
+
+        Without replication the shard store is probed directly and its
+        failures propagate — byte-for-byte the pre-replication path.
+        """
+        if self.replica_sets is None:
+            return _shard_top_k(self.shards[index], qvec, k, where)
+        return self.replica_sets[index].top_k(
+            qvec, k, where, deadline_pressure=hedge_pressure
+        )
+
+    def _deadline_pressure(self) -> bool:
+        """Whether the wall-clock hedge trigger fired for this request.
+
+        Only consulted when ``hedge_deadline_fraction`` is set — the one
+        clock-driven decision in the replication layer, excluded from
+        the byte-identical digest guarantee.
+        """
+        rep = self.replication
+        if rep is None or rep.hedge_deadline_fraction is None or self.binder is None:
+            return False
+        ctx = self.binder.ctx
+        deadline = ctx.deadline if ctx is not None else None
+        if deadline is None:
+            return False
+        return deadline.elapsed() >= rep.hedge_deadline_fraction * deadline.budget_seconds
 
     def similarity_search(
         self, query: str, *, k: int = 4, where: dict | None = None
@@ -185,6 +287,11 @@ class ShardedVectorStore:
         added: set[str] = set()
         for shard_idx in sorted(by_shard):
             added.update(self.shards[shard_idx].add_documents(by_shard[shard_idx]))
+            if self.replica_sets is not None:
+                # Replica 0 *is* the shard store; apply the same batch to
+                # every fork so copies stay byte-identical under mutation.
+                for replica in self.replica_sets[shard_idx].replicas[1:]:
+                    replica.add_documents(by_shard[shard_idx])
         if added:
             self._registry_fn().counter("repro.shard.adds").inc(len(added))
         out: list[str] = []
@@ -195,6 +302,10 @@ class ShardedVectorStore:
         return out
 
     def delete(self, ids: list[str]) -> int:
+        if self.replica_sets is not None:
+            for replica_set in self.replica_sets:
+                for replica in replica_set.replicas[1:]:
+                    replica.delete(ids)
         return sum(shard.delete(ids) for shard in self.shards)
 
     def __len__(self) -> int:
@@ -249,8 +360,60 @@ class ShardedVectorStore:
             ),
             binder=binder if binder is not None else self.binder,
             registry_fn=registry_fn if registry_fn is not None else self._registry_fn,
+            replica_sets=self.replica_sets,
+            replication=self.replication,
         )
         return clone
+
+    def with_replication(
+        self,
+        config: "ReplicationConfig",
+        *,
+        health: "HealthTracker",
+        store_wrapper: Callable[[VectorStore, int, int], VectorStore] | None = None,
+    ) -> "ShardedVectorStore":
+        """A serving view where each shard answers from a replica set.
+
+        Replica 0 of every set is this store's shard object; replicas
+        1..N-1 are copy-on-write forks of it, byte-identical until
+        mutated (and mutations fan out, see :meth:`add_documents`).
+        ``store_wrapper(store, shard_index, replica_index)`` is the
+        fault seam: the engine uses it to interpose
+        :meth:`~repro.resilience.faults.FaultInjector.wrap_store` on
+        chosen replicas so shard outages join the seeded fault-schedule
+        machinery instead of ad-hoc monkeypatching.
+        """
+        from repro.replication import ReplicaSet
+
+        config.validate()
+        replica_sets = []
+        for index, shard in enumerate(self.shards):
+            replicas: list[VectorStore] = [shard]
+            replicas.extend(shard.fork() for _ in range(config.replicas - 1))
+            if store_wrapper is not None:
+                replicas = [
+                    store_wrapper(replica, index, position)
+                    for position, replica in enumerate(replicas)
+                ]
+            replica_sets.append(
+                ReplicaSet(
+                    index,
+                    replicas,
+                    health,
+                    hedging=config.hedging,
+                    registry_fn=self._registry_fn,
+                )
+            )
+        return ShardedVectorStore(
+            self.shards,
+            self.embedding,
+            collection_name=self.collection_name,
+            scatter_workers=self.scatter_workers,
+            binder=self.binder,
+            registry_fn=self._registry_fn,
+            replica_sets=replica_sets,
+            replication=config,
+        )
 
     # ------------------------------------------------------------ persistence
     def save(self, directory) -> None:

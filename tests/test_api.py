@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 #: (and in ``repro/__init__.py``); removals are breaking changes.
 PUBLIC_API = [
     "EngineConfig",
+    "ReplicationConfig",
     "ReproConfig",
     "RetrievalConfig",
     "ShardingConfig",
@@ -87,6 +88,7 @@ class TestPublicSurface:
             "durability",
             "observability",
             "sharding",
+            "replication",
         ):
             assert required in names, required
 

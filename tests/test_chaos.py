@@ -294,4 +294,50 @@ class TestRobustnessSweep:
         text = sweep.render(title="robustness")
         assert "overload 4x" in text
         assert "crash recovery" in text
+        assert "shard faults" in text
         assert "robustness digest" in text
+
+    def test_shard_fault_phase_replicated_absorbs_outages(self, bundle, tmp_path):
+        sweep = run_robustness_sweep(
+            bundle, seed=5, fault_config=FaultConfig(transient_rate=0.0),
+            overload_factor=4, questions=krylov_benchmark()[:4],
+            journal_dir=tmp_path, shard_fault_rate=0.8, replicas=2,
+        )
+        s = sweep.shard_faults
+        assert s is not None and s.error == ""
+        assert s.replicas == 2 and s.hedging
+        # Every primary outage was absorbed by a backup: full coverage,
+        # every question answered, failover/hedge activity recorded.
+        assert s.answered == s.total == 4
+        assert s.min_coverage == 1.0 and s.partial == 0
+        assert s.failovers + s.hedge_wins > 0
+
+    def test_shard_fault_phase_single_copy_degrades(self, bundle, tmp_path):
+        kwargs = dict(
+            fault_config=FaultConfig(transient_rate=0.0), overload_factor=4,
+            questions=krylov_benchmark()[:4], shard_fault_rate=0.8, replicas=1,
+        )
+        a = run_robustness_sweep(
+            bundle, seed=5, journal_dir=tmp_path / "a", **kwargs
+        )
+        s = a.shard_faults
+        assert s is not None and s.error == ""
+        # Single copy per shard: outages cannot fail over, so coverage
+        # degrades — deterministically across reruns.
+        assert s.failovers == 0
+        assert s.partial > 0 and s.min_coverage < 1.0
+        b = run_robustness_sweep(
+            bundle, seed=5, journal_dir=tmp_path / "b", **kwargs
+        )
+        assert b.shard_faults.results_digest == s.results_digest
+        assert b.shard_faults.schedule_digest == s.schedule_digest
+        assert b.shard_faults.min_coverage == s.min_coverage
+
+    def test_shard_fault_phase_skipped_at_zero_rate(self, bundle, tmp_path):
+        sweep = run_robustness_sweep(
+            bundle, seed=1, fault_config=FaultConfig(transient_rate=0.1),
+            overload_factor=4, questions=krylov_benchmark()[:2],
+            journal_dir=tmp_path, shard_fault_rate=0.0,
+        )
+        assert sweep.shard_faults is None
+        assert "shard faults" not in sweep.render()

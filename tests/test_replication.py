@@ -1,0 +1,418 @@
+"""Tests for replicated shard serving: health tracking, deterministic
+failover, hedged probes, and partial-result degradation.
+
+The load-bearing guarantee under test: with ``replicas >= 2``, any
+fault schedule that kills at most one replica per shard leaves answers,
+metrics-relevant results, and span digests byte-identical to the
+healthy single-copy baseline — failover changes *which copy* answered,
+never *what* was answered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import open_engine
+from repro.config import (
+    ReplicationConfig,
+    ReproConfig,
+    ShardingConfig,
+)
+from repro.documents import Document
+from repro.embeddings import HashingEmbedding
+from repro.errors import ConfigurationError, PartialResultError, VectorStoreError
+from repro.evaluation.benchmark import krylov_benchmark
+from repro.observability import MetricsRegistry, use_registry
+from repro.replication import HealthTracker, ReplicaSet, ReplicaState
+from repro.resilience import FaultConfig, FaultInjector
+from repro.vectorstore import ShardedVectorStore, VectorStore, shard_for_document
+
+
+def _docs(n=12):
+    return [
+        Document(text=f"krylov method number {i} gmres", metadata={"source": f"d{i}"})
+        for i in range(n)
+    ]
+
+
+def _sharded(docs, num_shards=3, **kwargs):
+    emb = HashingEmbedding(dim=32)
+    buckets = [[] for _ in range(num_shards)]
+    for d in docs:
+        buckets[shard_for_document(d, num_shards)].append(d)
+    shards = [VectorStore.from_documents(b, emb) for b in buckets]
+    return ShardedVectorStore(shards, emb, **kwargs)
+
+
+class DeadStore:
+    """A replica whose search transport never answers."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    @property
+    def embedding(self):
+        return self.inner.embedding
+
+    def similarity_search_by_vector_with_score(self, qvec, *, k=4, where=None):
+        raise VectorStoreError("replica dead")
+
+    def similarity_search_with_score(self, query, *, k=4, where=None):
+        raise VectorStoreError("replica dead")
+
+    def add_documents(self, documents):
+        return self.inner.add_documents(documents)
+
+    def delete(self, ids):
+        return self.inner.delete(ids)
+
+    def __len__(self):
+        return len(self.inner)
+
+
+def _kill_primary(store, shard_index, replica_index):
+    return DeadStore(store) if replica_index == 0 else store
+
+
+class TestReplicationConfig:
+    def test_defaults_validate(self):
+        ReplicationConfig().validate()
+        ReplicationConfig(replicas=3, hedging=True, hedge_deadline_fraction=1.0).validate()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(replicas=0).validate()
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(suspect_after=0).validate()
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(suspect_after=3, down_after=2).validate()
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(probe_after=0).validate()
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(hedge_deadline_fraction=0.0).validate()
+
+    def test_round_trips_through_repro_config(self):
+        cfg = ReproConfig(
+            replication=ReplicationConfig(replicas=3, hedging=True)
+        )
+        clone = ReproConfig.from_dict(cfg.to_dict())
+        assert clone.replication == cfg.replication
+
+
+class TestHealthTracker:
+    def _tracker(self, reg=None, **kwargs):
+        cfg = ReplicationConfig(replicas=2, **kwargs)
+        registry = reg if reg is not None else MetricsRegistry()
+        return HealthTracker(cfg, registry_fn=lambda: registry), registry
+
+    def test_initial_state_is_up(self):
+        tracker, _ = self._tracker()
+        assert tracker.state(0, 0) is ReplicaState.UP
+        assert tracker.should_probe(0, 0)
+
+    def test_failures_walk_up_suspect_down(self):
+        tracker, reg = self._tracker(suspect_after=1, down_after=3)
+        tracker.record_failure(0, 0)
+        assert tracker.state(0, 0) is ReplicaState.SUSPECT
+        tracker.record_failure(0, 0)
+        assert tracker.state(0, 0) is ReplicaState.SUSPECT
+        tracker.record_failure(0, 0)
+        assert tracker.state(0, 0) is ReplicaState.DOWN
+        assert reg.counter("repro.replica.marked_suspect").value == 1
+        assert reg.counter("repro.replica.marked_down").value == 1
+
+    def test_down_replica_sits_out_then_half_open_probes(self):
+        tracker, _ = self._tracker(down_after=1, probe_after=3)
+        tracker.record_failure(2, 1)
+        assert tracker.state(2, 1) is ReplicaState.DOWN
+        # probe_after - 1 selections skipped, then one half-open probe.
+        assert not tracker.should_probe(2, 1)
+        assert not tracker.should_probe(2, 1)
+        assert tracker.should_probe(2, 1)
+        # The cycle repeats until an outcome is recorded.
+        assert not tracker.should_probe(2, 1)
+
+    def test_success_fully_recovers(self):
+        tracker, reg = self._tracker(down_after=1)
+        tracker.record_failure(0, 0)
+        assert tracker.state(0, 0) is ReplicaState.DOWN
+        tracker.record_success(0, 0)
+        assert tracker.state(0, 0) is ReplicaState.UP
+        assert tracker.should_probe(0, 0)
+        assert reg.counter("repro.replica.recovered").value == 1
+        # Recovery resets the failure fold: one new failure is suspect,
+        # not down-continued.
+        tracker.record_failure(0, 0)
+        assert tracker.state(0, 0) is ReplicaState.DOWN  # down_after=1
+
+    def test_snapshot_groups_by_shard(self):
+        tracker, _ = self._tracker(suspect_after=1, down_after=2)
+        tracker.record_failure(1, 0)
+        tracker.record_failure(0, 1)
+        tracker.record_failure(0, 1)
+        tracker.record_success(0, 0)
+        assert tracker.snapshot() == {0: ["up", "down"], 1: ["suspect"]}
+
+
+class TestReplicaSet:
+    def _set(self, *, hedging=False, dead_primary=True, health_kwargs=None):
+        emb = HashingEmbedding(dim=32)
+        store = VectorStore.from_documents(_docs(6), emb)
+        reg = MetricsRegistry()
+        cfg = ReplicationConfig(replicas=2, **(health_kwargs or {}))
+        health = HealthTracker(cfg, registry_fn=lambda: reg)
+        primary = DeadStore(store.fork()) if dead_primary else store.fork()
+        rs = ReplicaSet(
+            0, [primary, store.fork()], health,
+            hedging=hedging, registry_fn=lambda: reg,
+        )
+        qvec = emb.embed_query("krylov gmres")
+        return rs, health, reg, qvec, store
+
+    def test_failover_returns_backup_answer(self):
+        rs, health, reg, qvec, store = self._set()
+        hits = rs.top_k(qvec, 3, None)
+        from repro.vectorstore.sharded import _shard_top_k
+
+        expected = _shard_top_k(store, qvec, 3, None)
+        assert [(d.doc_id, round(s, 9)) for d, s in hits] == [
+            (d.doc_id, round(s, 9)) for d, s in expected
+        ]
+        assert reg.counter("repro.replica.failovers").value == 1
+        assert reg.counter("repro.replica.probe_failures").value == 1
+        assert health.state(0, 0) is ReplicaState.SUSPECT
+        assert health.state(0, 1) is ReplicaState.UP
+
+    def test_down_primary_is_skipped_not_probed(self):
+        rs, health, reg, qvec, _ = self._set(health_kwargs={"down_after": 1})
+        rs.top_k(qvec, 3, None)  # primary fails once -> straight to down
+        assert health.state(0, 0) is ReplicaState.DOWN
+        probes_before = reg.counter("repro.replica.probes").value
+        rs.top_k(qvec, 3, None)
+        # Only the backup was probed; no failover counted for a walk
+        # that never included the down primary.
+        assert reg.counter("repro.replica.probes").value == probes_before + 1
+        assert reg.counter("repro.replica.failovers").value == 1
+
+    def test_every_replica_down_returns_none(self):
+        rs, _, reg, qvec, _ = self._set()
+        rs.replicas[1] = DeadStore(rs.replicas[1])
+        assert rs.top_k(qvec, 3, None) is None
+        assert reg.counter("repro.replica.probe_failures").value == 2
+
+    def test_suspect_primary_triggers_hedge_and_win(self):
+        rs, health, reg, qvec, store = self._set(hedging=True)
+        rs.top_k(qvec, 3, None)  # first walk: plain failover, marks suspect
+        assert reg.counter("repro.replica.hedges").value == 0
+        hits = rs.top_k(qvec, 3, None)  # suspect primary -> hedged probe
+        assert reg.counter("repro.replica.hedges").value == 1
+        assert reg.counter("repro.replica.hedge_wins").value == 1
+        from repro.vectorstore.sharded import _shard_top_k
+
+        assert [d.doc_id for d, _ in hits] == [
+            d.doc_id for d, _ in _shard_top_k(store, qvec, 3, None)
+        ]
+
+    def test_healthy_primary_never_hedges(self):
+        rs, _, reg, qvec, _ = self._set(hedging=True, dead_primary=False)
+        rs.top_k(qvec, 3, None)
+        rs.top_k(qvec, 3, None)
+        assert reg.counter("repro.replica.hedges").value == 0
+        assert reg.counter("repro.replica.failovers").value == 0
+
+    def test_empty_replica_set_rejected(self):
+        health = HealthTracker(ReplicationConfig())
+        with pytest.raises(VectorStoreError):
+            ReplicaSet(0, [], health)
+
+
+class TestReplicatedStore:
+    """with_replication on the composite store: the digest contract."""
+
+    def _replicated(self, docs, *, replicas=2, wrapper=_kill_primary,
+                    num_shards=3, reg=None, **rep_kwargs):
+        registry = reg if reg is not None else MetricsRegistry()
+        base = _sharded(docs, num_shards, registry_fn=lambda: registry)
+        cfg = ReplicationConfig(replicas=replicas, **rep_kwargs)
+        health = HealthTracker(cfg, registry_fn=lambda: registry)
+        return base.with_replication(cfg, health=health, store_wrapper=wrapper), registry
+
+    def test_failover_results_match_healthy_baseline(self):
+        docs = _docs()
+        healthy = _sharded(docs).similarity_search_with_score("krylov gmres", k=5)
+        store, reg = self._replicated(docs)
+        rescued = store.similarity_search_with_score("krylov gmres", k=5)
+        assert [(d.doc_id, round(s, 9)) for d, s in rescued] == [
+            (d.doc_id, round(s, 9)) for d, s in healthy
+        ]
+        assert reg.counter("repro.replica.failovers").value == 3
+        assert reg.counter("repro.shard.partial_queries").value == 0
+
+    def test_fault_injector_wrapped_primaries_match_baseline(self):
+        # The same contract through the seeded fault seam at rate 1.0.
+        docs = _docs()
+        injector = FaultInjector(7, FaultConfig(shard_fault_rate=1.0))
+
+        def wrap(store, shard_index, replica_index):
+            if replica_index > 0:
+                return store
+            return injector.wrap_store(store, site=f"shard:{shard_index}")
+
+        healthy = _sharded(docs).similarity_search_with_score("krylov gmres", k=4)
+        store, _ = self._replicated(docs, wrapper=wrap)
+        assert [
+            (d.doc_id, round(s, 9))
+            for d, s in store.similarity_search_with_score("krylov gmres", k=4)
+        ] == [(d.doc_id, round(s, 9)) for d, s in healthy]
+        sites = {event.site for event in injector.schedule()}
+        assert sites and all(site.startswith("shard:") for site in sites)
+
+    def test_single_copy_outage_degrades_to_partial(self):
+        docs = _docs()
+        dead_shard = shard_for_document(docs[0], 3)
+
+        def wrap(store, shard_index, replica_index):
+            return DeadStore(store) if shard_index == dead_shard else store
+
+        store, reg = self._replicated(docs, replicas=1, wrapper=wrap)
+        hits = store.similarity_search_with_score("krylov gmres", k=6)
+        survivors = [d for d in docs if shard_for_document(d, 3) != dead_shard]
+        expected = VectorStore.from_documents(
+            survivors, HashingEmbedding(dim=32)
+        ).similarity_search_with_score("krylov gmres", k=len(survivors))
+        expected.sort(key=lambda pair: (-pair[1], pair[0].doc_id))
+        expected = expected[:6]
+        assert [(d.doc_id, round(s, 9)) for d, s in hits] == [
+            (d.doc_id, round(s, 9)) for d, s in expected
+        ]
+        assert reg.counter("repro.shard.partial_queries").value == 1
+        assert reg.counter("repro.shard.unanswered").value == 1
+        # Deterministic across reruns: same merge, same counters delta.
+        assert [
+            d.doc_id for d, _ in store.similarity_search_with_score("krylov gmres", k=6)
+        ] == [d.doc_id for d, _ in hits]
+
+    def test_require_full_coverage_raises_typed_error(self):
+        docs = _docs()
+        dead_shard = shard_for_document(docs[0], 3)
+
+        def wrap(store, shard_index, replica_index):
+            return DeadStore(store) if shard_index == dead_shard else store
+
+        store, _ = self._replicated(
+            docs, replicas=1, wrapper=wrap, require_full_coverage=True
+        )
+        with pytest.raises(PartialResultError) as err:
+            store.similarity_search_with_score("krylov gmres", k=4)
+        assert err.value.failed_shards == (dead_shard,)
+        assert err.value.coverage == pytest.approx(2 / 3)
+
+    def test_mutations_fan_out_to_replicas(self):
+        docs = _docs(6)
+        store, _ = self._replicated(docs, wrapper=None)
+        extra = Document(text="new flexible gmres note", metadata={"source": "d0"})
+        target = shard_for_document(extra, 3)
+        store.add_documents([extra])
+        replica_set = store.replica_sets[target]
+        assert all(len(r) == len(store.shards[target]) for r in replica_set.replicas)
+        # A dead primary after the write: the backup must already hold
+        # the new document.
+        replica_set.replicas[0] = DeadStore(replica_set.replicas[0])
+        hits = store.similarity_search_with_score("new flexible gmres note", k=3)
+        assert extra.doc_id in [d.doc_id for d, _ in hits]
+        store.delete([extra.doc_id])
+        assert all(len(r) == len(store.shards[target]) for r in replica_set.replicas)
+
+    def test_replica_count_mismatch_rejected(self):
+        docs = _docs(6)
+        store, _ = self._replicated(docs, wrapper=None)
+        with pytest.raises(VectorStoreError):
+            ShardedVectorStore(
+                store.shards[:2], store.embedding, replica_sets=store.replica_sets
+            )
+
+
+class TestEngineFailover:
+    """End-to-end: the digest guarantee through the sharded engine."""
+
+    def _cfg(self, **kwargs):
+        return ReproConfig(
+            iterations_per_token=0,
+            sharding=ShardingConfig(num_shards=3),
+            **kwargs,
+        )
+
+    def _digests(self, bundle, config, injector, registry):
+        engine = open_engine(
+            config, bundle=bundle, fault_injector=injector, registry=registry
+        )
+        questions = [q.text for q in krylov_benchmark()[:4]]
+        batch = engine.service.answer_many(questions, workers=1)
+        return batch.answers_digest(), batch.span_digest(), batch
+
+    def test_failover_is_digest_invisible(self, bundle):
+        # Baseline carries a zero-rate injector so the answer cache is
+        # disabled in both runs (cache state parity).
+        base_reg = MetricsRegistry()
+        base = self._digests(
+            bundle, self._cfg(), FaultInjector(0, FaultConfig()), base_reg
+        )
+        fail_reg = MetricsRegistry()
+        failover = self._digests(
+            bundle,
+            self._cfg(replication=ReplicationConfig(replicas=2, hedging=True)),
+            FaultInjector(0, FaultConfig(shard_fault_rate=1.0)),
+            fail_reg,
+        )
+        assert failover[0] == base[0]
+        assert failover[1] == base[1]
+        assert fail_reg.counter("repro.replica.failovers").value > 0
+        assert base_reg.counter("repro.replica.failovers").value == 0
+
+    def test_partial_coverage_marks_degradation_deterministically(self, bundle):
+        cfg = self._cfg(replication=ReplicationConfig(replicas=1))
+        runs = []
+        for _ in range(2):
+            reg = MetricsRegistry()
+            _, _, batch = self._digests(
+                bundle, cfg, FaultInjector(3, FaultConfig(shard_fault_rate=1.0)), reg
+            )
+            runs.append(batch)
+        a, b = runs
+        assert a.answers_digest() == b.answers_digest()
+        assert a.span_digest() == b.span_digest()
+        assert a.partial_count > 0
+        assert a.min_coverage < 1.0
+        marked = [
+            it for it in a.items
+            if it.result is not None
+            and any(str(e) == "shard:partial" for e in it.result.degraded)
+        ]
+        assert len(marked) == a.partial_count
+
+    def test_require_full_coverage_fails_requests(self, bundle):
+        cfg = self._cfg(
+            replication=ReplicationConfig(replicas=1, require_full_coverage=True)
+        )
+        reg = MetricsRegistry()
+        _, _, batch = self._digests(
+            bundle, cfg, FaultInjector(3, FaultConfig(shard_fault_rate=1.0)), reg
+        )
+        failed = [it for it in batch.items if not it.answered]
+        assert failed
+        assert all("PartialResultError" in it.error for it in failed)
+
+    def test_shard_summary_reports_replica_health(self, bundle):
+        cfg = self._cfg(replication=ReplicationConfig(replicas=2))
+        engine = open_engine(
+            cfg, bundle=bundle,
+            fault_injector=FaultInjector(0, FaultConfig(shard_fault_rate=1.0)),
+            registry=MetricsRegistry(),
+        )
+        engine.answer("What is the default KSP type?")
+        summary = engine.shard_summary()
+        assert summary["replicas"] == 2
+        states = {s for row in summary["shards"] for s in row["health"]}
+        # Wrapped primaries failed at rate 1.0: at least one is marked.
+        assert states & {"suspect", "down"}
+        assert all(row["replicas"] == 2 for row in summary["shards"])

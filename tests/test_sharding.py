@@ -150,6 +150,57 @@ class TestShardedStore:
         fork.add_documents([Document(text="child only", metadata={"source": "d0"})])
         assert len(fork) == len(sharded) + 1
 
+    def test_add_documents_routes_by_shard_after_fork(self):
+        # The fork must keep routing writes by the planner hash — a fork
+        # that collapsed shard identity would corrupt partition
+        # invariance for every later query.
+        sharded = self._sharded(self._docs(6))
+        fork = sharded.fork()
+        extra = Document(text="routed after fork", metadata={"source": "d5"})
+        target = shard_for_document(extra, 3)
+        before = [len(s) for s in fork.shards]
+        fork.add_documents([extra])
+        after = [len(s) for s in fork.shards]
+        assert after[target] == before[target] + 1
+        assert sum(after) == sum(before) + 1
+        assert fork.get(extra.doc_id).text == "routed after fork"
+
+    def test_get_and_delete_work_cross_shard(self):
+        docs = self._docs(9)
+        sharded = self._sharded(docs, num_shards=3)
+        # get() finds documents regardless of which shard holds them.
+        for doc in docs:
+            assert sharded.get(doc.doc_id).doc_id == doc.doc_id
+        with pytest.raises(VectorStoreError):
+            sharded.get("no-such-id")
+        # One delete call spanning several shards removes them all.
+        victims = [docs[0], docs[4], docs[7]]
+        assert len({shard_for_document(d, 3) for d in victims}) > 1
+        deleted = sharded.delete([d.doc_id for d in victims])
+        assert deleted == 3
+        assert len(sharded) == len(docs) - 3
+        for doc in victims:
+            with pytest.raises(VectorStoreError):
+                sharded.get(doc.doc_id)
+
+    def test_fetch_doubling_terminates_on_whole_shard_tie(self):
+        # Every document in the shard scores identically, so the fetch
+        # boundary never strictly separates: the loop must exit via the
+        # exhaustion branch, not spin doubling forever.
+        from repro.vectorstore.sharded import _shard_top_k
+
+        emb = HashingEmbedding(dim=32)
+        docs = [
+            Document(text="identical text", metadata={"source": f"tie{i}"})
+            for i in range(5)
+        ]
+        store = VectorStore.from_documents(docs, emb)
+        qvec = emb.embed_query("identical text")
+        hits = _shard_top_k(store, qvec, 2, None)
+        assert len(hits) == 2
+        # All scores tie, so the winners are the lowest doc ids.
+        assert [d.doc_id for d, _ in hits] == sorted(d.doc_id for d in docs)[:2]
+
     def test_save_load_unsupported(self, tmp_path):
         sharded = self._sharded(self._docs(3))
         with pytest.raises(VectorStoreError):
