@@ -33,6 +33,7 @@ The ``build_*`` helpers are compatibility wrappers over the
 
 from repro.config import (
     EngineConfig,
+    IngestConfig,
     ReplicationConfig,
     ReproConfig,
     RetrievalConfig,
@@ -42,6 +43,12 @@ from repro.config import (
 from repro.corpus import build_default_corpus
 from repro.engine import QueryEngine, ShardedQueryEngine
 from repro.index import IndexArtifact, ShardedIndexArtifact, get_or_build_index
+from repro.ingest import (
+    CorpusDelta,
+    IngestReport,
+    apply_documents,
+    ingest_corpus,
+)
 from repro.api import (
     open_engine,
     open_pipeline,
@@ -64,6 +71,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "EngineConfig",
+    "IngestConfig",
     "ReplicationConfig",
     "ReproConfig",
     "RetrievalConfig",
@@ -75,7 +83,11 @@ __all__ = [
     "QueryEngine",
     "ReproService",
     "ShardedQueryEngine",
+    "CorpusDelta",
+    "IngestReport",
+    "apply_documents",
     "get_or_build_index",
+    "ingest_corpus",
     "open_engine",
     "open_pipeline",
     "open_service",

@@ -40,6 +40,15 @@ facilitate various use cases."  This module is that CLI:
     keeping the longest intact record prefix and truncating any torn
     tail left by a crash mid-append.
 
+``python -m repro ingest --docs DIR``
+    Run the unified ingestion lifecycle against an edited docs tree
+    (write one with ``repro corpus --out DIR``, edit pages in place):
+    on-disk edits are overlaid onto the corpus, the revised artifact is
+    resolved (delta-from-parent when the embedding model supports it),
+    the engine swaps onto the new epoch, and exactly the affected cache
+    entries are invalidated.  An unedited tree is a detected no-op.
+    Prints the :class:`~repro.ingest.IngestReport` summary as JSON.
+
 All question-answering commands serve through the
 :class:`~repro.service.ReproService` front door (see
 :func:`repro.api.open_service`), over one cached index artifact, so a
@@ -225,6 +234,21 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--arrival-interval", type=float, default=0.0,
         help="simulated seconds between request arrivals (0 = one burst)",
+    )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="ingest an edited docs tree through the unified write path",
+    )
+    ingest.add_argument(
+        "--docs", default=None, metavar="DIR",
+        help="docs tree with edits to overlay (from `repro corpus --out DIR`); "
+             "omit to run a no-op ingest of the unchanged corpus",
+    )
+    ingest.add_argument(
+        "--warm", type=int, default=0, metavar="N",
+        help="answer the first N benchmark questions before ingesting, so the "
+             "report shows scoped cache invalidation at work",
     )
 
     recover = sub.add_parser(
@@ -529,6 +553,31 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if batch.answered_count == batch.admitted_count else 1
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.api import open_engine
+    from repro.corpus.builder import overlay_tree
+    from repro.ingest import ingest_corpus
+
+    bundle = build_default_corpus()
+    engine = open_engine(_config(args), bundle=bundle)
+    for q in krylov_benchmark()[: args.warm]:
+        engine.answer(q.text, mode=args.mode)
+    revised = overlay_tree(bundle, args.docs) if args.docs else bundle
+    report = ingest_corpus(engine, revised)
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    if report.noop:
+        print("corpus unchanged: no-op ingest, serving state untouched",
+              file=sys.stderr)
+    else:
+        print(
+            f"epoch {report.epoch} | resolved via {report.resolution} | "
+            f"embedded {report.delta.get('embedded', 0)} of "
+            f"{report.delta.get('total', 0)} chunks",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     path = Path(args.path)
     if not path.is_file():
@@ -580,6 +629,7 @@ _COMMANDS = {
     "corpus": cmd_corpus,
     "casestudy": cmd_casestudy,
     "chaos": cmd_chaos,
+    "ingest": cmd_ingest,
     "metrics": cmd_metrics,
     "recover": cmd_recover,
 }

@@ -2,7 +2,7 @@
 
 :class:`ReproConfig` is the root: one dataclass nesting every
 subsystem's knobs (retrieval, resilience, observability, engine,
-admission, durability, sharding, replication), with ``to_dict``/``from_dict``
+admission, durability, sharding, replication, ingest), with ``to_dict``/``from_dict``
 round-tripping so the CLI, tests, and embedders of the library stop
 threading six separate config objects.  ``WorkflowConfig`` is the
 historical name and remains as an alias.
@@ -343,6 +343,37 @@ class ReplicationConfig:
 
 
 @dataclass
+class IngestConfig:
+    """Ingestion-lifecycle knobs: delta builds, epochs, invalidation.
+
+    The write path (:mod:`repro.ingest`) stages every corpus mutation
+    through one lifecycle: load → split → content-address → diff →
+    embed-the-delta → apply to dirty shards → fan out to replicas →
+    epoch swap → scoped cache invalidation.  These flags tune how
+    aggressive the delta reuse is; they never change *what* is served —
+    a delta-built artifact is value-identical to a from-scratch build
+    by contract.
+    """
+
+    #: Resolve ``get_or_build_index`` via delta-from-parent when a
+    #: lineage parent is available (corpus-free embeddings only).
+    delta_enabled: bool = True
+    #: Fall back to a full rebuild when more than this fraction of
+    #: chunks changed — at that point a delta saves nothing.
+    max_delta_fraction: float = 0.5
+    #: Invalidate only the cache entries the delta can affect; when
+    #: off, an ingest clears the query caches wholesale (old blunt
+    #: behaviour, always safe).
+    scoped_invalidation: bool = True
+
+    def validate(self) -> None:
+        if not 0.0 < self.max_delta_fraction <= 1.0:
+            raise ConfigurationError(
+                f"max_delta_fraction must be in (0, 1], got {self.max_delta_fraction}"
+            )
+
+
+@dataclass
 class ReproConfig:
     """Root configuration nesting every subsystem's knobs.
 
@@ -361,6 +392,7 @@ class ReproConfig:
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
     #: Latency-burn override for the simulated model; None keeps the
     #: persona default, 0 disables the burn (unit tests).
     iterations_per_token: int | None = None
@@ -375,6 +407,7 @@ class ReproConfig:
         self.durability.validate()
         self.sharding.validate()
         self.replication.validate()
+        self.ingest.validate()
 
     def to_dict(self) -> dict:
         """Serialize to a plain nested dict (JSON-compatible)."""

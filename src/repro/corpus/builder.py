@@ -152,6 +152,64 @@ class CorpusBuilder:
         return rootp
 
 
+_TREE_DOC_TYPES = (
+    ("manualpages/", "manual_page"),
+    ("manual/", "manual_chapter"),
+    ("tutorials/", "tutorial"),
+    ("archives/", "mail_thread"),
+)
+
+
+def _doc_type_for_path(rel: str) -> str:
+    if rel == "faq.md":
+        return "faq"
+    for prefix, doc_type in _TREE_DOC_TYPES:
+        if rel.startswith(prefix):
+            return doc_type
+    return "manual_chapter"
+
+
+def overlay_tree(bundle: CorpusBundle, root: str | Path) -> CorpusBundle:
+    """A revised bundle: on-disk edits overlaid onto ``bundle``.
+
+    The inverse direction of :meth:`CorpusBuilder.write_tree` for the
+    ingestion lifecycle: every ``*.md`` file under ``root`` whose
+    relative path matches a document's ``source`` replaces that
+    document's text *in place* (same corpus position, same metadata), so
+    an unedited tree reproduces the bundle's corpus digest byte for byte
+    and ``repro ingest`` detects it as a no-op.  Files with no matching
+    source are appended as new documents, sorted by path, with their
+    ``doc_type`` inferred from the tree layout.
+    """
+    rootp = Path(root)
+    if not rootp.is_dir():
+        raise CorpusError(f"corpus tree {rootp} is not a directory")
+    on_disk = {
+        str(p.relative_to(rootp)): p.read_text(encoding="utf-8")
+        for p in sorted(rootp.rglob("*.md"))
+    }
+    revised = CorpusBundle(registry=bundle.registry)
+    for doc in bundle.documents:
+        source = str(doc.metadata.get("source", ""))
+        text = on_disk.pop(source, None)
+        new_doc = doc if text is None or text == doc.text else Document(
+            text=text, metadata=dict(doc.metadata)
+        )
+        revised.documents.append(new_doc)
+        if new_doc.metadata.get("doc_type") == "manual_page":
+            revised.manual_page_names[str(new_doc.metadata["title"])] = new_doc
+    for rel in sorted(on_disk):
+        revised.documents.append(Document(
+            text=on_disk[rel],
+            metadata={
+                "source": rel,
+                "doc_type": _doc_type_for_path(rel),
+                "title": Path(rel).stem,
+            },
+        ))
+    return revised
+
+
 def tag_chunks_with_facts(chunks: list[Document], registry: FactRegistry) -> list[Document]:
     """Annotate each chunk with the fact/falsehood ids it asserts.
 
@@ -171,6 +229,42 @@ def tag_chunks_with_facts(chunks: list[Document], registry: FactRegistry) -> lis
     return tagged
 
 
+def _chunk_source(
+    doc: Document,
+    header_splitter: MarkdownHeaderTextSplitter,
+    char_splitter: RecursiveCharacterTextSplitter,
+    chunk_size: int,
+) -> tuple[list[Document], list[Document]]:
+    """One source document's chunks, partitioned into (whole, split).
+
+    Chunking is self-contained per source — no splitter state crosses
+    document boundaries — which is what lets the ingest delta path
+    re-chunk only the sources whose text changed
+    (:func:`chunk_corpus_delta`) and still match a full
+    :func:`chunk_corpus` byte-for-byte.
+    """
+    if doc.metadata.get("doc_type") == "manual_page" and len(doc.text) <= 4 * chunk_size:
+        return [doc], []
+    split_chunks: list[Document] = []
+    for sec in header_splitter.split_documents([doc]):
+        pieces = char_splitter.split_text(sec.text)
+        section = str(sec.metadata.get("section", ""))
+        for i, piece in enumerate(pieces):
+            md = dict(sec.metadata)
+            md["chunk"] = f"{md.get('chunk', 0)}.{i}"
+            # Continuation chunks keep their section path as a heading —
+            # "Choosing a Krylov Method" is retrieval signal every piece
+            # of the section deserves.
+            if i > 0 and section and not piece.startswith(section):
+                piece = f"{section}\n\n{piece}"
+            split_chunks.append(Document(text=piece, metadata=md))
+    return [], split_chunks
+
+
+def _chunking_docs(bundle: CorpusBundle, include_mail: bool) -> list[Document]:
+    return list(bundle.documents) if include_mail else bundle.official()
+
+
 def chunk_corpus(
     bundle: CorpusBundle,
     *,
@@ -188,36 +282,96 @@ def chunk_corpus(
     Markdown headers (chunks carry a ``section`` path) and oversized
     sections then go through the recursive character splitter, the same
     two-stage scheme the paper's LangChain pipeline uses.
+
+    Output order is all whole pages in corpus order, then all split
+    chunks in corpus order — the order every artifact digest is pinned
+    to.
     """
     header_splitter = MarkdownHeaderTextSplitter(max_depth=2)
     char_splitter = RecursiveCharacterTextSplitter(
         chunk_size=chunk_size, chunk_overlap=chunk_overlap
     )
-
-    docs = list(bundle.documents) if include_mail else bundle.official()
     whole: list[Document] = []
-    to_split: list[Document] = []
-    for doc in docs:
-        if doc.metadata.get("doc_type") == "manual_page" and len(doc.text) <= 4 * chunk_size:
-            whole.append(doc)
-        else:
-            to_split.append(doc)
-    sectioned = header_splitter.split_documents(to_split)
     split_chunks: list[Document] = []
-    for sec in sectioned:
-        pieces = char_splitter.split_text(sec.text)
-        section = str(sec.metadata.get("section", ""))
-        for i, piece in enumerate(pieces):
-            md = dict(sec.metadata)
-            md["chunk"] = f"{md.get('chunk', 0)}.{i}"
-            # Continuation chunks keep their section path as a heading —
-            # "Choosing a Krylov Method" is retrieval signal every piece
-            # of the section deserves.
-            if i > 0 and section and not piece.startswith(section):
-                piece = f"{section}\n\n{piece}"
-            split_chunks.append(Document(text=piece, metadata=md))
-    chunks = whole + split_chunks
-    return tag_chunks_with_facts(chunks, bundle.registry)
+    for doc in _chunking_docs(bundle, include_mail):
+        w, s = _chunk_source(doc, header_splitter, char_splitter, chunk_size)
+        whole.extend(w)
+        split_chunks.extend(s)
+    return tag_chunks_with_facts(whole + split_chunks, bundle.registry)
+
+
+def chunk_corpus_delta(
+    bundle: CorpusBundle,
+    parent_chunks: list[Document],
+    parent_source_digests: dict[str, str],
+    *,
+    include_mail: bool = False,
+    chunk_size: int = 800,
+    chunk_overlap: int = 120,
+) -> tuple[list[Document], list[str]]:
+    """Chunk the corpus, re-splitting only the sources whose text changed.
+
+    ``parent_source_digests`` maps each source path to the sha256 of the
+    text it had when ``parent_chunks`` were produced (see
+    :func:`repro.ingest.identity.source_digest` /
+    :func:`corpus_source_digests`).  Sources whose digest is unchanged
+    reuse their parent chunks verbatim — tags included — so the result
+    is byte-identical to a fresh :func:`chunk_corpus` over the same
+    bundle while paying splitter + tagger cost only for the dirty
+    sources.
+
+    Returns ``(chunks, changed_sources)`` where ``changed_sources``
+    lists the source paths that were re-chunked (added or modified) or
+    dropped.
+    """
+    from repro.ingest.identity import source_digest as _source_digest
+
+    header_splitter = MarkdownHeaderTextSplitter(max_depth=2)
+    char_splitter = RecursiveCharacterTextSplitter(
+        chunk_size=chunk_size, chunk_overlap=chunk_overlap
+    )
+    # Parent chunks grouped by source, preserving the whole/split
+    # partition (whole pages are exactly the chunks with no "chunk"
+    # metadata — split chunks always carry a chunk index).
+    parent_whole: dict[str, list[Document]] = {}
+    parent_split: dict[str, list[Document]] = {}
+    for chunk in parent_chunks:
+        source = str(chunk.metadata.get("source", ""))
+        bucket = parent_split if "chunk" in chunk.metadata else parent_whole
+        bucket.setdefault(source, []).append(chunk)
+
+    changed: list[str] = []
+    seen_sources: set[str] = set()
+    whole: list[Document] = []
+    split_chunks: list[Document] = []
+    for doc in _chunking_docs(bundle, include_mail):
+        source = str(doc.metadata.get("source", ""))
+        seen_sources.add(source)
+        if (
+            source in parent_source_digests
+            and parent_source_digests[source] == _source_digest(doc.text)
+        ):
+            whole.extend(parent_whole.get(source, ()))
+            split_chunks.extend(parent_split.get(source, ()))
+            continue
+        changed.append(source)
+        w, s = _chunk_source(doc, header_splitter, char_splitter, chunk_size)
+        whole.extend(tag_chunks_with_facts(w, bundle.registry))
+        split_chunks.extend(tag_chunks_with_facts(s, bundle.registry))
+    changed.extend(sorted(set(parent_source_digests) - seen_sources))
+    return whole + split_chunks, changed
+
+
+def corpus_source_digests(
+    bundle: CorpusBundle, *, include_mail: bool = False
+) -> dict[str, str]:
+    """Per-source text digests for the documents chunking would consume."""
+    from repro.ingest.identity import source_digest as _source_digest
+
+    return {
+        str(doc.metadata.get("source", "")): _source_digest(doc.text)
+        for doc in _chunking_docs(bundle, include_mail)
+    }
 
 
 def build_default_corpus() -> CorpusBundle:

@@ -86,6 +86,24 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def items(self) -> list[tuple[Hashable, object]]:
+        """Snapshot of (key, value) pairs, LRU-first (inspection only)."""
+        with self._lock:
+            return list(self._data.items())
+
+    def evict_where(self, predicate: Callable[[Hashable, object], bool]) -> int:
+        """Drop entries the predicate matches; returns how many.
+
+        Recency order of the survivors is untouched, so scoped
+        invalidation (the ingest lifecycle) does not perturb future
+        eviction decisions for unrelated entries.
+        """
+        with self._lock:
+            doomed = [k for k, v in self._data.items() if predicate(k, v)]
+            for k in doomed:
+                del self._data[k]
+            return len(doomed)
+
 
 class CacheTransaction:
     """Per-request record of deferred cache effects.

@@ -79,6 +79,14 @@ class QueryEngine:
         self._pipelines: dict[PipelineMode, RAGPipeline] = {}
         self._build_lock = threading.Lock()
         self._service = None
+        #: Monotonic artifact generation: 0 at construction, +1 per
+        #: :meth:`swap_artifact`.  Purely observational — answer-cache
+        #: keys carry the artifact digest, not the epoch.
+        self.epoch = 0
+        #: Accounting dict from the most recent cache invalidation
+        #: (:func:`repro.ingest.invalidation.invalidate_engine_caches`),
+        #: surfaced in :class:`~repro.ingest.lifecycle.IngestReport`.
+        self._last_invalidation: dict = {}
 
     @classmethod
     def from_corpus(
@@ -155,6 +163,50 @@ class QueryEngine:
         self._answer_lru.clear()
         self._retrieval_lru.clear()
         self._embedding_lru.clear()
+
+    # ------------------------------------------------------------ epochs
+    def swap_artifact(self, artifact: IndexArtifact, delta=None) -> bool:
+        """Swap the engine onto a new artifact epoch.
+
+        The one sanctioned way serving state changes after construction.
+        Under the build lock the engine rebinds its artifact, drops the
+        per-mode pipelines (rebuilt lazily over the new store), and
+        rebinds query embedding to the new artifact's model; the epoch
+        counter advances and exactly the affected cache entries are
+        invalidated — scoped by ``delta`` (a
+        :class:`~repro.ingest.delta.CorpusDelta`) when
+        ``config.ingest.scoped_invalidation`` is on, wholesale
+        otherwise.
+
+        A no-op swap (same digest) returns ``False`` and changes
+        nothing: no epoch advance, no cache invalidation, no pipeline
+        rebuilds.
+        """
+        from repro.ingest.invalidation import invalidate_engine_caches
+
+        with self._build_lock:
+            if artifact.digest == self.artifact.digest:
+                return False
+            previous = self.artifact
+            self.artifact = artifact
+            self._pipelines.clear()
+            self._query_embedding = CachedEmbedding(
+                artifact.embedding, self._embedding_lru, self.binder, self._metrics
+            )
+            self.epoch += 1
+        embedding_preserved = (
+            artifact.embedding.name == previous.embedding.name
+            and artifact.embedding.dim == previous.embedding.dim
+        )
+        scoped = delta if self.config.ingest.scoped_invalidation else None
+        self._last_invalidation = invalidate_engine_caches(
+            self,
+            scoped,
+            stale_digest=previous.digest,
+            embedding_preserved=embedding_preserved,
+        )
+        self._metrics().counter("repro.ingest.epoch_swaps").inc()
+        return True
 
     def cache_sizes(self) -> dict:
         return {

@@ -125,6 +125,7 @@ class ShardedQueryEngine(QueryEngine):
         return {
             "num_shards": artifact.num_shards,
             "composite_digest": artifact.digest,
+            "epoch": self.epoch,
             "embedding_scope": artifact.fingerprint.get("embedding_scope"),
             "replicas": rep.replicas,
             "hedging": rep.hedging,

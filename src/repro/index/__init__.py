@@ -15,11 +15,13 @@ from repro.index.artifact import (
 )
 from repro.index.builder import (
     build_index,
+    build_index_from_parent,
     cache_artifact,
     cached_artifact,
     clear_index_cache,
     compute_digest,
     get_or_build_index,
+    lineage_parent,
     load_artifact,
     read_cached_payload,
     save_artifact,
@@ -43,6 +45,7 @@ __all__ = [
     "ShardSpec",
     "artifact_digest",
     "build_index",
+    "build_index_from_parent",
     "build_sharded_index",
     "cache_artifact",
     "cached_artifact",
@@ -54,6 +57,7 @@ __all__ = [
     "corpus_digest",
     "get_or_build_index",
     "get_or_build_sharded_index",
+    "lineage_parent",
     "load_artifact",
     "plan_shards",
     "read_cached_payload",

@@ -96,6 +96,17 @@ class IndexArtifact:
         Manual-page name → document, for exact keyword lookup.
     registry:
         Ground-truth fact registry (simulated models and graders need it).
+    parent_digest / delta_digest:
+        Lineage: when the artifact was produced by a delta build,
+        ``parent_digest`` names the artifact the delta was applied to
+        and ``delta_digest`` the :class:`~repro.ingest.CorpusDelta` that
+        carried it there.  Both ``None`` for from-scratch builds.  The
+        lineage never feeds :attr:`digest` — a delta-built artifact is
+        value-identical to a from-scratch build and shares its name.
+    source_digests:
+        Source path → sha256 of the source text the chunks came from.
+        The diff stage of the next ingest uses this to re-chunk only the
+        sources that changed.
     """
 
     digest: str
@@ -106,6 +117,9 @@ class IndexArtifact:
     store: VectorStore
     manual_pages: dict[str, Document] = field(default_factory=dict)
     registry: FactRegistry | None = None
+    parent_digest: str | None = None
+    delta_digest: str | None = None
+    source_digests: dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------ consumers
     def fork_store(self, *, embedding: EmbeddingModel | None = None) -> VectorStore:
@@ -131,4 +145,6 @@ class IndexArtifact:
             "manual_page_count": len(self.manual_pages),
             "embedding_model": self.embedding.name,
             "embedding_dim": self.embedding.dim,
+            "parent_digest": self.parent_digest,
+            "delta_digest": self.delta_digest,
         }

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.config import WorkflowConfig
-from repro.corpus.builder import CorpusBundle, chunk_corpus
+from repro.corpus.builder import CorpusBundle, chunk_corpus, corpus_source_digests
 from repro.embeddings import create_embedding_model
 from repro.embeddings.registry import is_corpus_fitted
 from repro.errors import IndexBuildError
@@ -42,8 +42,10 @@ from repro.index.artifact import (
 )
 from repro.index.builder import (
     build_index,
+    build_index_from_parent,
     cache_artifact,
     cached_artifact,
+    lineage_parent,
     read_cached_payload,
     save_artifact,
 )
@@ -287,6 +289,9 @@ def build_sharded_index(
                     store=store,
                     manual_pages=dict(spec.bundle.manual_page_names),
                     registry=bundle.registry,
+                    source_digests=corpus_source_digests(
+                        spec.bundle, include_mail=rc.include_mail_archives
+                    ),
                 )
                 return cache_artifact(shard)
             except IndexBuildError:
@@ -299,6 +304,25 @@ def build_sharded_index(
                 chunk_size=rc.chunk_size,
                 chunk_overlap=rc.chunk_overlap,
             )
+        # Delta-from-parent: for corpus-free embeddings the shard
+        # fingerprint is stable across corpus edits, so the lineage holds
+        # the shard's previous artifact — reuse its vectors and embed
+        # only this edit's changed chunks.
+        parent = lineage_parent(spec.fingerprint)
+        if parent is not None and parent.digest != spec.digest:
+            built = build_index_from_parent(
+                spec.bundle,
+                config,
+                parent,
+                chunks=chunks,
+                fingerprint=spec.fingerprint,
+            )
+            if built is not None:
+                shard = built[0]
+                registry.counter("repro.shard.delta_builds").inc()
+                if cache_dir is not None:
+                    save_artifact(shard, cache_dir)
+                return cache_artifact(shard)
         shard = build_index(
             spec.bundle,
             config,
@@ -334,6 +358,9 @@ def build_sharded_index(
         manual_pages=dict(bundle.manual_page_names),
         registry=bundle.registry,
         shards=shard_artifacts,
+        source_digests=corpus_source_digests(
+            bundle, include_mail=config.retrieval.include_mail_archives
+        ),
     )
 
 

@@ -1,0 +1,185 @@
+"""The typed corpus delta: what changed between two chunk lists.
+
+A :class:`CorpusDelta` is the contract between the diff stage of the
+ingestion lifecycle and everything downstream of it — the delta index
+build (embed exactly ``added + modified``), the replica fan-out, and
+the scoped cache invalidation (drop exactly the entries those chunks
+could affect).  It is a pure value computed from two chunk lists; no
+stage mutates it.
+
+Classification is two-level (see :mod:`repro.ingest.identity`):
+
+* ``doc_id`` (byte-exact) decides whether a chunk's *embedding* can be
+  reused — only byte-identical chunks reuse parent vectors, which is
+  what keeps a delta-built artifact bit-equal to a from-scratch build.
+* the content address (whitespace/NFC-normalized) decides how the
+  change is *reported*: a chunk whose address survives but whose bytes
+  moved is ``modified`` (a cosmetic rewrite), one with a fresh address
+  is ``added``, one whose address disappeared is ``removed``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.documents.document import Document
+from repro.ingest.identity import chunk_id
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """A chunk that left the corpus: enough identity to invalidate by."""
+
+    address: str
+    doc_id: str
+    source: str
+
+
+@dataclass
+class CorpusDelta:
+    """Chunk-level difference between a parent artifact and its successor.
+
+    Attributes
+    ----------
+    parent_digest / target_digest:
+        Artifact digests on either side of the delta (empty strings for
+        live-store mutations, which happen under one artifact).
+    added:
+        Chunks whose content address is new — genuinely new knowledge.
+    modified:
+        Chunks whose content address survived but whose exact bytes
+        changed (whitespace/markup-only edits).  Re-embedded, but
+        reported separately so operators can see cosmetic churn.
+    removed:
+        References to chunks whose content address disappeared.
+    unchanged:
+        Count of chunks reused byte-for-byte (vectors included).
+    sources_changed:
+        The ``source`` paths whose documents changed, sorted.
+    """
+
+    parent_digest: str = ""
+    target_digest: str = ""
+    added: list[Document] = field(default_factory=list)
+    modified: list[Document] = field(default_factory=list)
+    removed: list[ChunkRef] = field(default_factory=list)
+    unchanged: int = 0
+    sources_changed: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------ views
+    @property
+    def is_noop(self) -> bool:
+        return not (self.added or self.modified or self.removed)
+
+    @property
+    def embed_count(self) -> int:
+        """Chunks the delta build must actually embed."""
+        return len(self.added) + len(self.modified)
+
+    @property
+    def total(self) -> int:
+        """Chunk count of the successor corpus."""
+        return self.embed_count + self.unchanged
+
+    def embedded_chunks(self) -> list[Document]:
+        return list(self.added) + list(self.modified)
+
+    def removed_doc_ids(self) -> set[str]:
+        """Byte-exact ids no longer served (dropped or rewritten)."""
+        return {ref.doc_id for ref in self.removed}
+
+    @property
+    def digest(self) -> str:
+        """The delta's own content hash (``delta_digest`` in lineage)."""
+        payload = json.dumps(
+            {
+                "parent": self.parent_digest,
+                "target": self.target_digest,
+                "added": sorted(d.doc_id for d in self.added),
+                "modified": sorted(d.doc_id for d in self.modified),
+                "removed": sorted(ref.doc_id for ref in self.removed),
+                "unchanged": self.unchanged,
+            },
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def summary(self) -> dict:
+        return {
+            "added": len(self.added),
+            "modified": len(self.modified),
+            "removed": len(self.removed),
+            "unchanged": self.unchanged,
+            "embedded": self.embed_count,
+            "total": self.total,
+            "sources_changed": list(self.sources_changed),
+            "delta_digest": self.digest,
+        }
+
+
+def diff_chunks(
+    old_chunks: list[Document],
+    new_chunks: list[Document],
+    *,
+    parent_digest: str = "",
+    target_digest: str = "",
+) -> CorpusDelta:
+    """Classify every chunk of ``new_chunks`` against ``old_chunks``.
+
+    Byte-identical chunks (same ``doc_id``) are unchanged; the rest are
+    split into added / modified / removed by content address.  Sources
+    touched by any non-unchanged chunk land in ``sources_changed``.
+    """
+    old_by_doc_id = {c.doc_id for c in old_chunks}
+    old_addresses = {chunk_id(c) for c in old_chunks}
+    new_doc_ids = {c.doc_id for c in new_chunks}
+    new_addresses: set[str] = set()
+
+    delta = CorpusDelta(parent_digest=parent_digest, target_digest=target_digest)
+    sources: set[str] = set()
+    for chunk in new_chunks:
+        address = chunk_id(chunk)
+        new_addresses.add(address)
+        if chunk.doc_id in old_by_doc_id:
+            delta.unchanged += 1
+            continue
+        sources.add(str(chunk.metadata.get("source", "")))
+        if address in old_addresses:
+            delta.modified.append(chunk)
+        else:
+            delta.added.append(chunk)
+    for chunk in old_chunks:
+        if chunk.doc_id in new_doc_ids:
+            continue
+        address = chunk_id(chunk)
+        source = str(chunk.metadata.get("source", ""))
+        sources.add(source)
+        if address not in new_addresses:
+            delta.removed.append(
+                ChunkRef(address=address, doc_id=chunk.doc_id, source=source)
+            )
+        else:
+            # Rewritten in place: the new bytes are already in
+            # ``modified``; record the old bytes so caches holding them
+            # can be invalidated.
+            delta.removed.append(
+                ChunkRef(address=address, doc_id=chunk.doc_id, source=source)
+            )
+    delta.sources_changed = tuple(sorted(sources))
+    return delta
+
+
+def delta_from_added_documents(documents: list[Document]) -> CorpusDelta:
+    """A delta describing a live-store insertion (no artifact swap).
+
+    Used by the one mutation path serving stores still support — the
+    workflow feeding vetted history back into its RAG database.
+    """
+    return CorpusDelta(
+        added=list(documents),
+        sources_changed=tuple(
+            sorted({str(d.metadata.get("source", "")) for d in documents})
+        ),
+    )

@@ -1,0 +1,166 @@
+"""Scoped cache invalidation: drop exactly what a delta can affect.
+
+The engine keeps three query-time caches — answer, retrieval, and
+query-embedding LRUs.  Before the ingestion lifecycle existed the only
+tool was :meth:`~repro.engine.QueryEngine.clear_query_caches`, which
+throws away every warm entry on any corpus mutation.  This module
+replaces that with per-entry reasoning driven by the typed
+:class:`~repro.ingest.delta.CorpusDelta`:
+
+**Retrieval entries** (key ``(retriever_name, query, k)``, value a tuple
+of :class:`~repro.retrieval.base.RetrievedDocument`):
+
+* An entry containing a removed/rewritten chunk (byte-exact ``doc_id``)
+  is stale — evict.
+* For additions, a ``vector`` entry survives iff no added chunk can
+  enter its top-k: the entry is full (``len == k``) and
+  ``max(added_vectors @ query_vector)`` is strictly below the entry's
+  k-th score.  Brute-force cosine retrieval admits a new document only
+  when it beats the boundary, so this test is exact (ties evict,
+  conservatively, because the merge tie-break could prefer the new
+  doc_id).
+* Entries from retrievers whose scores depend on corpus statistics
+  (``bm25``, ``hybrid``) or on tables the delta may have changed
+  (``keyword``) are evicted whenever the delta is non-empty — correct,
+  just not minimal.  In practice the engine caches only ``vector``
+  retrievals, so the conservative branch is a safety net.
+
+**Answer entries** (key ``(question_digest, mode, artifact_digest)``):
+after an epoch swap the stale-digest entries are unreachable (the
+answer-cache key function reads the live artifact digest) — they are
+evicted to free capacity.  For an in-place store mutation (no digest
+change) an entry survives only if its question's retrieval entries
+*provably* survived: its question digest must match a surviving
+retrieval query and must not match an evicted one.
+
+**Query-embedding entries** depend only on the embedding model, which a
+delta build preserves by contract — they are kept unless the swap
+changed models.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ingest.delta import CorpusDelta
+from repro.service.lifecycle import question_digest
+
+if TYPE_CHECKING:
+    from repro.engine.engine import QueryEngine
+
+
+def invalidate_engine_caches(
+    engine: "QueryEngine",
+    delta: CorpusDelta | None = None,
+    *,
+    stale_digest: str | None = None,
+    embedding_preserved: bool = True,
+) -> dict:
+    """Invalidate the engine's query caches for one corpus change.
+
+    ``delta=None`` is the blunt path: every retrieval and answer entry
+    is dropped (and the embedding cache too unless the embedding model
+    was preserved).  With a delta, eviction is scoped as described in
+    the module docstring.  ``stale_digest`` marks an epoch swap — the
+    digest the engine just moved off — while ``None`` means an in-place
+    mutation of the live store.
+
+    Returns an accounting dict; the same numbers land on
+    ``repro.ingest.invalidated_*`` / ``repro.ingest.retained_retrieval``
+    counters.
+    """
+    registry = engine._metrics()
+    if delta is None:
+        summary = {
+            "scoped": False,
+            "invalidated_retrieval": len(engine._retrieval_lru),
+            "retained_retrieval": 0,
+            "invalidated_answers": len(engine._answer_lru),
+            "invalidated_embeddings": (
+                0 if embedding_preserved else len(engine._embedding_lru)
+            ),
+        }
+        engine._retrieval_lru.clear()
+        engine._answer_lru.clear()
+        if not embedding_preserved:
+            engine._embedding_lru.clear()
+        registry.counter("repro.ingest.invalidated_retrieval").inc(
+            summary["invalidated_retrieval"]
+        )
+        registry.counter("repro.ingest.invalidated_answers").inc(
+            summary["invalidated_answers"]
+        )
+        return summary
+
+    removed_ids = delta.removed_doc_ids()
+    added = delta.embedded_chunks()
+    embedding = engine.artifact.embedding
+    added_vectors = (
+        embedding.embed_documents([c.text for c in added]) if added else None
+    )
+    changed = not delta.is_noop
+
+    evicted_queries: set[str] = set()
+    surviving_queries: set[str] = set()
+
+    def retrieval_stale(key, value) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 3):
+            return True  # unrecognized entry shape: never serve it stale
+        name, query, k = key
+        hits = value if isinstance(value, tuple) else tuple(value)
+        stale = _entry_stale(name, query, k, hits)
+        (evicted_queries if stale else surviving_queries).add(str(query))
+        return stale
+
+    def _entry_stale(name, query, k, hits) -> bool:
+        if any(hit.doc_id in removed_ids for hit in hits):
+            return True
+        if added_vectors is None:
+            return False
+        if name != "vector":
+            return changed  # corpus-statistic scores: conservative
+        if len(hits) < k:
+            return True  # a free slot: any addition could fill it
+        qvec = embedding.embed_query(str(query))
+        boundary = min(hit.score for hit in hits)
+        return bool(float((added_vectors @ qvec).max()) >= boundary)
+
+    invalidated_retrieval = engine._retrieval_lru.evict_where(retrieval_stale)
+    retained_retrieval = len(engine._retrieval_lru)
+
+    if stale_digest is not None:
+        # Epoch swap: entries keyed to the previous digest are
+        # unreachable behind the live key function — reclaim them.
+        live = engine.artifact.digest
+
+        def answer_stale(key, _value) -> bool:
+            return not (isinstance(key, tuple) and key and key[-1] == live)
+
+    else:
+        # In-place mutation: same artifact digest, so stale answers
+        # would be served verbatim.  Keep an entry only when its
+        # question's retrieval provably survived.
+        unsafe = {question_digest(q) for q in evicted_queries}
+        safe = {question_digest(q) for q in surviving_queries} - unsafe
+
+        def answer_stale(key, _value) -> bool:
+            if not (isinstance(key, tuple) and key):
+                return True
+            return key[0] in unsafe or key[0] not in safe
+
+    invalidated_answers = engine._answer_lru.evict_where(answer_stale)
+    invalidated_embeddings = 0
+    if not embedding_preserved:
+        invalidated_embeddings = len(engine._embedding_lru)
+        engine._embedding_lru.clear()
+
+    registry.counter("repro.ingest.invalidated_retrieval").inc(invalidated_retrieval)
+    registry.counter("repro.ingest.retained_retrieval").inc(retained_retrieval)
+    registry.counter("repro.ingest.invalidated_answers").inc(invalidated_answers)
+    return {
+        "scoped": True,
+        "invalidated_retrieval": invalidated_retrieval,
+        "retained_retrieval": retained_retrieval,
+        "invalidated_answers": invalidated_answers,
+        "invalidated_embeddings": invalidated_embeddings,
+    }

@@ -1,0 +1,262 @@
+"""The staged ingestion lifecycle: one write path for the knowledge base.
+
+Two entry points, both operating on a live
+:class:`~repro.engine.QueryEngine`:
+
+* :func:`ingest_corpus` — the full lifecycle for a corpus revision:
+  resolve the target artifact (memory → disk → delta-from-parent → full
+  build, all inside the index layer), diff it against the artifact the
+  engine is serving, swap the engine onto the new epoch, and invalidate
+  exactly the affected cache entries.  A no-op ingest (same corpus,
+  same config) touches nothing: no epoch advance, no cache churn, no
+  disk writes — the serving digest is byte-identical before and after.
+* :func:`apply_documents` — the live-store insertion path (interaction
+  history fed back into the RAG database): route the documents through
+  a typed :class:`~repro.ingest.delta.CorpusDelta`, apply them to the
+  serving store (sharded stores fan out to every replica internally),
+  and run scoped in-place invalidation instead of clearing every cache.
+
+Every stage reports through :func:`repro.observability.stage` under
+``repro.ingest.*`` metrics, so operators see chunk/diff/build/swap
+timing and the re-embed counters that prove a one-paragraph edit did
+not re-embed a shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.corpus.builder import CorpusBundle
+from repro.documents import Document
+from repro.errors import IngestError
+from repro.ingest.delta import CorpusDelta, delta_from_added_documents, diff_chunks
+from repro.ingest.invalidation import invalidate_engine_caches
+from repro.observability.stage import stage
+
+if TYPE_CHECKING:
+    from repro.engine.engine import QueryEngine
+
+
+@dataclass
+class IngestReport:
+    """What one ingest run did, stage by stage.
+
+    ``resolution`` names how the target artifact was obtained:
+    ``noop`` (already serving it), ``memory``/``disk`` (cache hits),
+    ``delta`` (built from the lineage parent by re-embedding only
+    changed chunks), ``full`` (from-scratch build), or ``live-store``
+    (an :func:`apply_documents` insertion, no artifact swap).
+    """
+
+    digest: str
+    previous_digest: str
+    epoch: int
+    swapped: bool
+    noop: bool
+    resolution: str
+    delta: dict = field(default_factory=dict)
+    invalidation: dict = field(default_factory=dict)
+    added_ids: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return {
+            "digest": self.digest,
+            "previous_digest": self.previous_digest,
+            "epoch": self.epoch,
+            "swapped": self.swapped,
+            "noop": self.noop,
+            "resolution": self.resolution,
+            "delta": dict(self.delta),
+            "invalidation": dict(self.invalidation),
+            "added": len(self.added_ids),
+        }
+
+
+def _counter_values(registry, names: tuple[str, ...]) -> dict[str, int]:
+    return {name: registry.counter(name).value for name in names}
+
+
+_RESOLUTION_COUNTERS = (
+    "repro.index.memory_hits",
+    "repro.index.disk_hits",
+    "repro.ingest.delta_builds",
+    "repro.index.builds",
+)
+
+
+def _resolution_label(before: dict[str, int], after: dict[str, int]) -> str:
+    for name, label in (
+        ("repro.index.builds", "full"),
+        ("repro.ingest.delta_builds", "delta"),
+        ("repro.index.disk_hits", "disk"),
+        ("repro.index.memory_hits", "memory"),
+    ):
+        if after[name] > before[name]:
+            return label
+    return "memory"
+
+
+def ingest_corpus(
+    engine: "QueryEngine",
+    bundle: CorpusBundle,
+    *,
+    cache_dir=None,
+) -> IngestReport:
+    """Run the full ingestion lifecycle for a corpus revision.
+
+    Resolves the artifact the engine *should* be serving for
+    ``bundle`` under its current config, swaps the engine onto it
+    (advancing the epoch), and invalidates the affected cache entries.
+    Safe to call with an unchanged corpus: the run is detected as a
+    no-op before any build or cache work happens.
+    """
+    from repro.index.builder import compute_digest, get_or_build_index
+    from repro.index.sharding import (
+        ShardedIndexArtifact,
+        compute_composite_digest,
+        get_or_build_sharded_index,
+    )
+
+    registry = engine._metrics()
+    registry.counter("repro.ingest.runs").inc()
+    previous = engine.artifact
+    sharded = isinstance(previous, ShardedIndexArtifact)
+    if sharded and engine.config.sharding.num_shards <= 0:
+        raise IngestError(
+            "engine serves a sharded artifact but sharding is disabled in config"
+        )
+
+    with stage("ingest:resolve", metric="repro.ingest.resolve", registry=registry):
+        target = (
+            compute_composite_digest(bundle, engine.config)
+            if sharded
+            else compute_digest(bundle, engine.config)
+        )
+    if target == previous.digest:
+        registry.counter("repro.ingest.noops").inc()
+        return IngestReport(
+            digest=previous.digest,
+            previous_digest=previous.digest,
+            epoch=engine.epoch,
+            swapped=False,
+            noop=True,
+            resolution="noop",
+        )
+
+    before = _counter_values(registry, _RESOLUTION_COUNTERS)
+    with stage("ingest:build", metric="repro.ingest.build", registry=registry):
+        if sharded:
+            artifact = get_or_build_sharded_index(
+                bundle, engine.config, cache_dir=cache_dir
+            )
+        else:
+            artifact = get_or_build_index(bundle, engine.config, cache_dir=cache_dir)
+    resolution = _resolution_label(before, _counter_values(registry, _RESOLUTION_COUNTERS))
+
+    with stage("ingest:diff", metric="repro.ingest.diff", registry=registry):
+        delta = diff_chunks(
+            previous.chunks,
+            artifact.chunks,
+            parent_digest=previous.digest,
+            target_digest=artifact.digest,
+        )
+
+    with stage("ingest:swap", metric="repro.ingest.swap", registry=registry):
+        swapped = engine.swap_artifact(artifact, delta)
+
+    return IngestReport(
+        digest=engine.artifact.digest,
+        previous_digest=previous.digest,
+        epoch=engine.epoch,
+        swapped=swapped,
+        noop=False,
+        resolution=resolution,
+        delta=delta.summary(),
+        invalidation=dict(getattr(engine, "_last_invalidation", {}) or {}),
+    )
+
+
+def apply_documents(
+    engine: "QueryEngine | None",
+    documents: list[Document],
+    *,
+    store=None,
+) -> IngestReport:
+    """Insert documents into a live serving store through the delta path.
+
+    This is the one sanctioned store-level mutation: the documents
+    become a :class:`~repro.ingest.delta.CorpusDelta`, land in ``store``
+    (defaulting to the engine's default-mode pipeline store; sharded
+    stores route per shard and fan out to replicas internally), and the
+    engine's caches are invalidated *in place* — scoped to the entries
+    the insertion can affect when ``config.ingest.scoped_invalidation``
+    is on.  No artifact swap happens: the insertion lives on top of the
+    current epoch, exactly like the workflow's history feed always has.
+
+    ``engine=None`` (engine-less services) skips all cache work — there
+    are no caches to invalidate.
+    """
+    if store is None:
+        if engine is None:
+            raise IngestError("apply_documents needs an engine or an explicit store")
+        pipeline = engine.pipeline()
+        if pipeline.retriever is None:
+            raise IngestError("the target pipeline has no retriever store")
+        store = pipeline.retriever.store
+
+    registry = engine._metrics() if engine is not None else None
+
+    def _count(name: str, n: int = 1) -> None:
+        if registry is not None and n:
+            registry.counter(name).inc(n)
+
+    _count("repro.ingest.runs")
+    with stage(
+        "ingest:apply",
+        metric="repro.ingest.apply",
+        registry=registry,
+    ) if registry is not None else _null_stage():
+        added = store._add_documents(documents)
+    if not added:
+        _count("repro.ingest.noops")
+        digest = engine.artifact.digest if engine is not None else ""
+        return IngestReport(
+            digest=digest,
+            previous_digest=digest,
+            epoch=engine.epoch if engine is not None else 0,
+            swapped=False,
+            noop=True,
+            resolution="live-store",
+        )
+
+    added_set = set(added)
+    delta = delta_from_added_documents([d for d in documents if d.doc_id in added_set])
+    _count("repro.ingest.applied_documents", len(added))
+
+    invalidation: dict = {}
+    if engine is not None:
+        scoped = delta if engine.config.ingest.scoped_invalidation else None
+        invalidation = invalidate_engine_caches(engine, scoped, stale_digest=None)
+    digest = engine.artifact.digest if engine is not None else ""
+    return IngestReport(
+        digest=digest,
+        previous_digest=digest,
+        epoch=engine.epoch if engine is not None else 0,
+        swapped=False,
+        noop=False,
+        resolution="live-store",
+        delta=delta.summary(),
+        invalidation=invalidation,
+        added_ids=list(added),
+    )
+
+
+class _null_stage:
+    """``with``-compatible no-op used when there is no metrics registry."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False

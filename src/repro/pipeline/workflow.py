@@ -88,13 +88,16 @@ class AugmentedWorkflow:
         if self.pipeline.retriever is None:
             return 0
         docs = self.store.as_documents(min_mean_score=min_mean_score)
-        added = self.pipeline.retriever.store.add_documents(docs)
-        if added:
-            # The RAG database just changed under the serving caches;
-            # stale retrieval/answer entries would hide the new material.
-            # (No-op on engine-less services, which have no caches.)
-            self.service.invalidate_query_caches()
-        return len(added)
+        # One write path: the insertion rides the ingest delta lane,
+        # which applies the documents to the serving store and scopes
+        # cache invalidation to exactly the entries the new material
+        # can affect.  (Engine-less services have no caches to touch.)
+        from repro.ingest.lifecycle import apply_documents
+
+        report = apply_documents(
+            self.engine, docs, store=self.pipeline.retriever.store
+        )
+        return len(report.added_ids)
 
     def ask(self, question: str, *, tags: list[str] | None = None) -> WorkflowAnswer:
         """Answer a question; postprocess and (optionally) record it."""

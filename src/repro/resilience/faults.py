@@ -310,6 +310,11 @@ class FaultyVectorStore:
     def add_documents(self, documents):
         return self.inner.add_documents(documents)
 
+    def _add_documents(self, documents):
+        # Internal write path (ingest fan-out): delegate without the
+        # deprecation warning the public method now carries.
+        return self.inner._add_documents(documents)
+
     def delete(self, ids):
         return self.inner.delete(ids)
 

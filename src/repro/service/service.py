@@ -119,10 +119,22 @@ class ReproService:
             and self.engine.fault_injector is None
         )
 
-    def invalidate_query_caches(self) -> None:
-        """Drop the engine's query caches (no-op when engine-less) —
-        call after mutating the store a pipeline retrieves from."""
-        if self.engine is not None:
+    def invalidate_query_caches(self, delta=None) -> None:
+        """Invalidate the engine's query caches (no-op when engine-less)
+        after mutating the store a pipeline retrieves from.
+
+        With a :class:`~repro.ingest.delta.CorpusDelta` (and
+        ``config.ingest.scoped_invalidation`` on), eviction is scoped to
+        exactly the entries the change can affect; without one every
+        entry is dropped, the pre-lifecycle behavior.
+        """
+        if self.engine is None:
+            return
+        if delta is not None and self.engine.config.ingest.scoped_invalidation:
+            from repro.ingest.invalidation import invalidate_engine_caches
+
+            invalidate_engine_caches(self.engine, delta, stale_digest=None)
+        else:
             self.engine.clear_query_caches()
 
     def _key_fn(self, mode: PipelineMode):

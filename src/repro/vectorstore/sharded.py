@@ -22,6 +22,7 @@ exactly rather than approximately:
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable
 
@@ -279,6 +280,22 @@ class ShardedVectorStore:
 
     # ------------------------------------------------------------ mutation
     def add_documents(self, documents: list[Document]) -> list[str]:
+        """Deprecated direct mutation; use the ingest lifecycle instead.
+
+        See :meth:`VectorStore.add_documents` — the same contract
+        applies, plus the sharded-specific hazard that direct writes
+        bypass the per-shard artifact digests entirely.
+        """
+        warnings.warn(
+            "ShardedVectorStore.add_documents is deprecated; route mutations "
+            "through repro.ingest (apply_documents / ingest_corpus) so caches, "
+            "lineage, and replicas stay coherent",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._add_documents(documents)
+
+    def _add_documents(self, documents: list[Document]) -> list[str]:
         """Route each document to its planner shard; returns added ids
         in input order."""
         by_shard: dict[int, list[Document]] = {}
@@ -286,12 +303,12 @@ class ShardedVectorStore:
             by_shard.setdefault(shard_for_document(doc, self.num_shards), []).append(doc)
         added: set[str] = set()
         for shard_idx in sorted(by_shard):
-            added.update(self.shards[shard_idx].add_documents(by_shard[shard_idx]))
+            added.update(self.shards[shard_idx]._add_documents(by_shard[shard_idx]))
             if self.replica_sets is not None:
                 # Replica 0 *is* the shard store; apply the same batch to
                 # every fork so copies stay byte-identical under mutation.
                 for replica in self.replica_sets[shard_idx].replicas[1:]:
-                    replica.add_documents(by_shard[shard_idx])
+                    replica._add_documents(by_shard[shard_idx])
         if added:
             self._registry_fn().counter("repro.shard.adds").inc(len(added))
         out: list[str] = []

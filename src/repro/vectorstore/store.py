@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import io
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -92,10 +93,66 @@ class VectorStore:
         collection_name: str = "petsc-docs",
     ) -> "VectorStore":
         store = cls(embedding, index=index, collection_name=collection_name)
-        store.add_documents(documents)
+        store._add_documents(documents)
+        return store
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        documents: list[Document],
+        vectors: np.ndarray,
+        embedding: EmbeddingModel,
+        *,
+        collection_name: str = "petsc-docs",
+    ) -> "VectorStore":
+        """Build a store from documents whose vectors are already known.
+
+        This is the delta-build primitive: the ingest lifecycle reuses a
+        parent artifact's rows for unchanged chunks and embeds only the
+        changed ones, then assembles the successor store here without
+        touching the embedding model.  ``vectors`` must be row-aligned
+        with ``documents``; duplicates (same ``doc_id``) keep the first
+        occurrence, exactly like :meth:`from_documents`.
+        """
+        if vectors.shape[0] != len(documents):
+            raise VectorStoreError(
+                f"{len(documents)} documents but {vectors.shape[0]} vectors"
+            )
+        if len(documents) and vectors.shape[1] != embedding.dim:
+            raise VectorStoreError(
+                f"vector dim {vectors.shape[1]} != embedding dim {embedding.dim}"
+            )
+        store = cls(embedding, collection_name=collection_name)
+        keep: list[int] = []
+        for row, doc in enumerate(documents):
+            if doc.doc_id in store._ids:
+                continue
+            store._ids[doc.doc_id] = len(store._docs)
+            store._docs.append(doc)
+            keep.append(row)
+        if keep:
+            store.index.add(np.ascontiguousarray(vectors[keep]))
         return store
 
     def add_documents(self, documents: list[Document]) -> list[str]:
+        """Deprecated direct mutation; use the ingest lifecycle instead.
+
+        Store-level writes bypass the artifact/digest contract — nothing
+        invalidates caches, updates lineage, or fans out to replicas.
+        The supported write path is :func:`repro.ingest.apply_documents`
+        (or a full :func:`repro.ingest.ingest_corpus`), which stages the
+        same insertion through a typed :class:`~repro.ingest.CorpusDelta`.
+        """
+        warnings.warn(
+            "VectorStore.add_documents is deprecated; route mutations through "
+            "repro.ingest (apply_documents / ingest_corpus) so caches, lineage, "
+            "and replicas stay coherent",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._add_documents(documents)
+
+    def _add_documents(self, documents: list[Document]) -> list[str]:
         """Embed and insert documents; returns the ids actually added."""
         fresh = [d for d in documents if d.doc_id not in self._ids]
         # Dedupe within the batch as well.

@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 #: (and in ``repro/__init__.py``); removals are breaking changes.
 PUBLIC_API = [
     "EngineConfig",
+    "IngestConfig",
     "ReplicationConfig",
     "ReproConfig",
     "RetrievalConfig",
@@ -31,7 +32,11 @@ PUBLIC_API = [
     "QueryEngine",
     "ReproService",
     "ShardedQueryEngine",
+    "CorpusDelta",
+    "IngestReport",
+    "apply_documents",
     "get_or_build_index",
+    "ingest_corpus",
     "open_engine",
     "open_pipeline",
     "open_service",

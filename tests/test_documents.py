@@ -131,3 +131,59 @@ class TestDirectoryLoader:
             (tmp_path / name).write_text(name)
         docs = DirectoryLoader(tmp_path).load()
         assert [d.text for d in docs] == ["a.txt", "b.txt", "c.txt"]
+
+
+class TestLoaderEdgeCases:
+    """Degenerate inputs the ingestion lifecycle must survive: empty
+    files, frontmatter-only pages, and unicode normalization forms."""
+
+    def test_empty_text_file(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("")
+        (doc,) = TextLoader(p).load()
+        assert doc.text == ""
+        assert doc.doc_id  # identity is defined even for empty text
+
+    def test_empty_markdown_file(self, tmp_path):
+        p = tmp_path / "empty.md"
+        p.write_text("")
+        (doc,) = MarkdownLoader(p).load()
+        assert doc.text == "\n"
+        assert "title" not in doc.metadata
+
+    def test_frontmatter_only_markdown(self, tmp_path):
+        p = tmp_path / "meta.md"
+        p.write_text("---\ntitle: Bare\n---\n")
+        (doc,) = MarkdownLoader(p).load()
+        assert doc.metadata["title"] == "Bare"
+        assert doc.text == "\n"
+
+    def test_markdown_preserves_unicode_form(self, tmp_path):
+        # Loaders are byte-faithful: NFC and NFD spellings of the same
+        # word stay distinct documents; only the ingest *identity* layer
+        # (chunk_address) treats them as the same content.
+        from repro.ingest import chunk_address
+
+        nfc, nfd = "café", "café"
+        p1, p2 = tmp_path / "nfc.md", tmp_path / "nfd.md"
+        p1.write_text(f"# T\n\n{nfc}\n", encoding="utf-8")
+        p2.write_text(f"# T\n\n{nfd}\n", encoding="utf-8")
+        (d1,) = MarkdownLoader(p1).load()
+        (d2,) = MarkdownLoader(p2).load()
+        assert d1.text != d2.text
+        assert d1.doc_id != d2.doc_id
+        assert chunk_address(d1.text, "s.md") == chunk_address(d2.text, "s.md")
+
+    def test_jsonl_blank_lines_only(self, tmp_path):
+        p = tmp_path / "blank.jsonl"
+        p.write_text("\n   \n\n")
+        assert JsonLinesLoader(p).load() == []
+
+    def test_jsonl_unicode_round_trip(self, tmp_path):
+        p = tmp_path / "u.jsonl"
+        p.write_text('{"text": "gro\\u00dfe Matrix"}\n', encoding="utf-8")
+        (doc,) = JsonLinesLoader(p).load()
+        assert doc.text == "große Matrix"
+
+    def test_directory_loader_empty_directory(self, tmp_path):
+        assert DirectoryLoader(tmp_path).load() == []

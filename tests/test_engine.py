@@ -230,4 +230,10 @@ class TestSharedArtifact:
         assert any(workflow.engine.cache_sizes().values())
         added = workflow.feed_history_into_rag(min_mean_score=3.0)
         assert added == 1
-        assert not any(workflow.engine.cache_sizes().values())
+        sizes = workflow.engine.cache_sizes()
+        # Scoped invalidation (DESIGN.md §14.3): the stale answer and
+        # retrieval entries are dropped, but query-embedding entries
+        # stay valid — the embedding model did not change.
+        assert sizes["answer"] == 0
+        assert sizes["retrieval"] == 0
+        assert sizes["embedding"] >= 1

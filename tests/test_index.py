@@ -133,7 +133,7 @@ class TestArtifactImmutability:
         artifact = get_or_build_index(bundle, fast_config)
         before = len(artifact.store)
         fork = artifact.fork_store()
-        fork.add_documents([Document(text="scratch note", metadata={"source": "x"})])
+        fork._add_documents([Document(text="scratch note", metadata={"source": "x"})])
         assert len(fork) == before + 1
         assert len(artifact.store) == before
 

@@ -1,0 +1,515 @@
+"""The unified ingestion lifecycle: one write path for the knowledge base.
+
+Covers the full staged lane (ISSUE 10): content-addressed chunk
+identity, typed corpus deltas, lineage-aware delta builds that re-embed
+only changed chunks, artifact epochs on the live engine, scoped cache
+invalidation, the live-store insertion path, and the deprecation of
+direct ``VectorStore.add_documents`` mutation.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import warnings
+
+import pytest
+
+from repro.api import open_engine
+from repro.config import IngestConfig, ReproConfig, RetrievalConfig, ShardingConfig
+from repro.corpus.builder import CorpusBundle, chunk_corpus, overlay_tree
+from repro.documents import Document
+from repro.errors import ConfigurationError, IngestError
+from repro.index import (
+    build_index,
+    build_index_from_parent,
+    cache_artifact,
+    clear_index_cache,
+    config_fingerprint,
+    get_or_build_index,
+    lineage_parent,
+)
+from repro.index.builder import compute_digest
+from repro.ingest import (
+    CorpusDelta,
+    apply_documents,
+    chunk_address,
+    chunk_id,
+    delta_from_added_documents,
+    diff_chunks,
+    ingest_corpus,
+    normalized_text,
+    source_digest,
+)
+from repro.observability import MetricsRegistry, use_registry
+from repro.vectorstore import VectorStore
+
+
+EMBED = "petsc-embed-small"  # corpus-free: the delta lane's precondition
+
+
+@pytest.fixture()
+def fresh_cache():
+    clear_index_cache()
+    yield
+    clear_index_cache()
+
+
+def _cfg(shards: int = 0, **ingest_kw) -> ReproConfig:
+    return ReproConfig(
+        iterations_per_token=0,
+        retrieval=RetrievalConfig(embedding_model=EMBED),
+        sharding=ShardingConfig(num_shards=shards),
+        ingest=IngestConfig(**ingest_kw),
+    )
+
+
+def _edit_source(bundle, source: str, suffix: str) -> CorpusBundle:
+    docs = list(bundle.documents)
+    for i, doc in enumerate(docs):
+        if doc.metadata.get("source") == source:
+            docs[i] = Document(text=doc.text + suffix, metadata=dict(doc.metadata))
+            break
+    else:
+        raise AssertionError(f"no document with source {source!r}")
+    return CorpusBundle(
+        registry=bundle.registry,
+        documents=docs,
+        manual_page_names=dict(bundle.manual_page_names),
+    )
+
+
+def _edited(bundle) -> CorpusBundle:
+    return _edit_source(
+        bundle, "faq.md", "\n\nRevision note: clarified the guidance above.\n"
+    )
+
+
+class TestChunkIdentity:
+    def test_normalization_collapses_whitespace(self):
+        assert normalized_text("a  b\n\nc\t") == normalized_text(" a b c ")
+
+    def test_address_ignores_whitespace_only_edits(self):
+        assert chunk_address("solve with\n KSP", "m.md") == chunk_address(
+            "solve  with KSP", "m.md"
+        )
+
+    def test_address_separates_text_and_source(self):
+        # The separator prevents (text+source) concatenation collisions.
+        assert chunk_address("ab", "c.md") != chunk_address("a", "bc.md")
+        assert chunk_address("x", "a.md") != chunk_address("x", "b.md")
+
+    def test_chunk_id_reads_document_metadata(self):
+        doc = Document(text="KSP solves Ax=b", metadata={"source": "ksp.md"})
+        assert chunk_id(doc) == chunk_address("KSP solves Ax=b", "ksp.md")
+
+    def test_source_digest_is_exact(self):
+        # Unlike the chunk address, the per-source digest is byte-exact:
+        # it decides *re-chunking*, not embedding reuse.
+        assert source_digest("a b") != source_digest("a  b")
+
+
+class TestCorpusDelta:
+    def _chunks(self, texts, source="s.md"):
+        return [
+            Document(text=t, metadata={"source": source, "chunk": str(i)})
+            for i, t in enumerate(texts)
+        ]
+
+    def test_identical_chunks_is_noop(self):
+        old = self._chunks(["alpha", "beta"])
+        new = self._chunks(["alpha", "beta"])
+        delta = diff_chunks(old, new)
+        assert delta.is_noop
+        assert delta.unchanged == 2
+        assert delta.embed_count == 0
+
+    def test_classification(self):
+        old = self._chunks(["alpha", "beta", "gamma"])
+        # beta edited in place (new bytes, same position), gamma dropped,
+        # delta added; alpha untouched.
+        new = [
+            old[0],
+            Document(text="beta revised", metadata=dict(old[1].metadata)),
+            Document(text="delta", metadata={"source": "s.md", "chunk": "3"}),
+        ]
+        delta = diff_chunks(old, new)
+        assert delta.unchanged == 1
+        assert {d.text for d in delta.added} == {"beta revised", "delta"}
+        removed = {r.doc_id for r in delta.removed}
+        assert removed == {old[1].doc_id, old[2].doc_id}
+
+    def test_whitespace_edit_is_modified_not_added(self):
+        old = self._chunks(["use  KSPSolve"])
+        new = self._chunks(["use KSPSolve"])
+        delta = diff_chunks(old, new)
+        # Same content address, different bytes: a modification.
+        assert [d.text for d in delta.modified] == ["use KSPSolve"]
+        assert not delta.added
+        assert [r.doc_id for r in delta.removed] == [old[0].doc_id]
+
+    def test_digest_is_order_independent(self):
+        old = self._chunks(["a", "b"])
+        new = self._chunks(["a", "c"])
+        d1 = diff_chunks(old, new)
+        d2 = diff_chunks(list(reversed(old)), list(reversed(new)))
+        assert d1.digest == d2.digest
+
+    def test_delta_from_added_documents(self):
+        docs = self._chunks(["history note"])
+        delta = delta_from_added_documents(docs)
+        assert [d.text for d in delta.added] == ["history note"]
+        assert not delta.removed and not delta.modified
+        assert not delta.is_noop
+
+
+class TestLineage:
+    def test_cache_artifact_evicts_superseded_digest(self, bundle, fresh_cache):
+        """Satellite 1: a lineage successor evicts its parent from the
+        in-process cache instead of letting dead epochs accumulate."""
+        from repro.index.builder import cached_artifact
+
+        cfg = _cfg()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            parent = get_or_build_index(bundle, cfg)
+            child = get_or_build_index(_edited(bundle), cfg)
+        assert child.digest != parent.digest
+        assert cached_artifact(child.digest) is child
+        assert cached_artifact(parent.digest) is None
+        assert reg.counter("repro.index.lineage_evictions").value == 1
+
+    def test_lineage_parent_tracks_latest(self, bundle, fresh_cache):
+        cfg = _cfg()
+        artifact = get_or_build_index(bundle, cfg)
+        assert lineage_parent(config_fingerprint(cfg)) is artifact
+
+
+class TestDeltaBuild:
+    def test_reembeds_only_changed_chunks(self, bundle, fresh_cache):
+        cfg = _cfg()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            parent = build_index(bundle, cfg)
+            cache_artifact(parent)
+            builds_before = reg.counter("repro.index.builds").value
+            built = build_index_from_parent(_edited(bundle), cfg, parent)
+        assert built is not None
+        artifact, delta = built
+        assert artifact.parent_digest == parent.digest
+        assert artifact.delta_digest == delta.digest
+        embedded = reg.counter("repro.ingest.chunks_embedded").value
+        reused = reg.counter("repro.ingest.chunks_reused").value
+        assert embedded == delta.embed_count
+        assert 0 < embedded < len(artifact.chunks) / 10
+        assert embedded + reused == len(artifact.chunks)
+        # A delta build is not a full build.
+        assert reg.counter("repro.index.builds").value == builds_before
+        assert reg.counter("repro.ingest.delta_builds").value == 1
+
+    def test_delta_equals_scratch_byte_for_byte(self, bundle, fresh_cache):
+        import numpy as np
+
+        cfg = _cfg()
+        edited = _edited(bundle)
+        parent = build_index(bundle, cfg)
+        artifact, _delta = build_index_from_parent(edited, cfg, parent)
+        scratch = build_index(edited, cfg)
+        assert artifact.digest == scratch.digest
+        assert [c.doc_id for c in artifact.chunks] == [
+            c.doc_id for c in scratch.chunks
+        ]
+        assert np.array_equal(
+            artifact.store.index.matrix, scratch.store.index.matrix
+        )
+
+    def test_corpus_fitted_embedding_declines(self, bundle, fresh_cache):
+        cfg = ReproConfig(
+            iterations_per_token=0,
+            retrieval=RetrievalConfig(embedding_model="petsc-embed-large"),
+        )
+        parent = build_index(bundle, cfg)
+        assert build_index_from_parent(_edited(bundle), cfg, parent) is None
+
+    def test_delta_disabled_declines(self, bundle, fresh_cache):
+        cfg = _cfg(delta_enabled=False)
+        parent = build_index(bundle, cfg)
+        assert build_index_from_parent(_edited(bundle), cfg, parent) is None
+
+    def test_large_delta_falls_back_to_full_build(self, bundle, fresh_cache):
+        cfg = _cfg(max_delta_fraction=0.0001)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            parent = build_index(bundle, cfg)
+            assert build_index_from_parent(_edited(bundle), cfg, parent) is None
+        assert reg.counter("repro.ingest.delta_fallbacks").value == 1
+
+    def test_get_or_build_resolves_via_delta(self, bundle, fresh_cache):
+        cfg = _cfg()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            get_or_build_index(bundle, cfg)
+            builds = reg.counter("repro.index.builds").value
+            successor = get_or_build_index(_edited(bundle), cfg)
+        assert reg.counter("repro.index.builds").value == builds
+        assert reg.counter("repro.ingest.delta_builds").value == 1
+        assert successor.digest == compute_digest(_edited(bundle), cfg)
+
+    def test_bad_ingest_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReproConfig(ingest=IngestConfig(max_delta_fraction=0.0)).validate()
+        with pytest.raises(ConfigurationError):
+            ReproConfig(ingest=IngestConfig(max_delta_fraction=1.5)).validate()
+
+
+class TestEpochSwap:
+    def test_same_digest_swap_is_noop(self, bundle, fresh_cache):
+        engine = open_engine(_cfg(), bundle=bundle)
+        engine.answer("What does KSPGMRES do?")
+        sizes = engine.cache_sizes()
+        assert engine.swap_artifact(engine.artifact) is False
+        assert engine.epoch == 0
+        assert engine.cache_sizes() == sizes
+
+    def test_swap_advances_epoch_and_serves_new_artifact(
+        self, bundle, fresh_cache
+    ):
+        cfg = _cfg()
+        engine = open_engine(cfg, bundle=bundle)
+        old_store = engine.pipeline().retriever.store
+        successor = get_or_build_index(_edited(bundle), cfg)
+        assert engine.swap_artifact(successor) is True
+        assert engine.epoch == 1
+        assert engine.artifact is successor
+        assert engine.pipeline().retriever.store is not old_store
+        # Serving still works on the new epoch.
+        assert engine.answer("What does KSPGMRES do?").answer
+
+
+class TestIngestCorpus:
+    def test_noop_ingest_changes_nothing(self, bundle, fresh_cache):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            engine = open_engine(_cfg(), bundle=bundle)
+            engine.answer("What does KSPGMRES do?")
+            sizes = engine.cache_sizes()
+            report = ingest_corpus(engine, bundle)
+        assert report.noop and not report.swapped
+        assert report.resolution == "noop"
+        assert report.digest == report.previous_digest == engine.artifact.digest
+        assert engine.epoch == 0
+        assert engine.cache_sizes() == sizes
+        assert reg.counter("repro.ingest.noops").value == 1
+
+    def test_edit_resolves_via_delta_and_swaps(self, bundle, fresh_cache):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            engine = open_engine(_cfg(), bundle=bundle)
+            answer_before = engine.answer("What does KSPGMRES do?").answer
+            report = ingest_corpus(engine, _edited(bundle))
+            answer_after = engine.answer("What does KSPGMRES do?").answer
+        assert not report.noop and report.swapped
+        assert report.resolution == "delta"
+        assert report.delta["embedded"] < report.delta["total"] / 10
+        assert engine.epoch == 1
+        assert reg.counter("repro.ingest.epoch_swaps").value == 1
+        # The FAQ edit cannot change a KSPGMRES answer.
+        assert answer_after == answer_before
+
+    def test_scoped_invalidation_retains_unaffected_entries(
+        self, bundle, fresh_cache
+    ):
+        engine = open_engine(_cfg(), bundle=bundle)
+        engine.answer("What does KSPGMRES do?")
+        report = ingest_corpus(engine, _edited(bundle))
+        inv = report.invalidation
+        assert inv["scoped"] is True
+        # The warm KSPGMRES retrieval survives an FAQ edit; its answer
+        # entry is re-keyed by digest and therefore reclaimed.
+        assert inv["retained_retrieval"] == 1
+        assert inv["invalidated_retrieval"] == 0
+        assert engine.cache_sizes()["retrieval"] == 1
+
+    def test_blunt_invalidation_when_scoping_disabled(self, bundle, fresh_cache):
+        engine = open_engine(_cfg(scoped_invalidation=False), bundle=bundle)
+        engine.answer("What does KSPGMRES do?")
+        report = ingest_corpus(engine, _edited(bundle))
+        assert report.invalidation["scoped"] is False
+        assert engine.cache_sizes()["retrieval"] == 0
+
+    def test_removed_source_evicts_dependent_retrievals(self, bundle, fresh_cache):
+        engine = open_engine(_cfg(), bundle=bundle)
+        engine.answer("What does KSPGMRES do?")
+        assert engine.cache_sizes()["retrieval"] == 1
+        docs = [
+            d
+            for d in bundle.documents
+            if d.metadata.get("source") != "manualpages/KSPGMRES.md"
+        ]
+        gutted = CorpusBundle(
+            registry=bundle.registry,
+            documents=docs,
+            manual_page_names={
+                k: v
+                for k, v in bundle.manual_page_names.items()
+                if k != "KSPGMRES"
+            },
+        )
+        report = ingest_corpus(engine, gutted)
+        assert report.swapped
+        assert report.invalidation["invalidated_retrieval"] == 1
+        assert engine.cache_sizes()["retrieval"] == 0
+
+    def test_sharded_engine_ingest(self, bundle, fresh_cache):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            engine = open_engine(_cfg(shards=2), bundle=bundle)
+            report = ingest_corpus(engine, _edited(bundle))
+        assert report.swapped and engine.epoch == 1
+        assert engine.shard_summary()["epoch"] == 1
+        # One edited source dirties one shard; that shard delta-builds.
+        assert reg.counter("repro.shard.delta_builds").value == 1
+        assert reg.counter("repro.ingest.delta_builds").value == 1
+        assert engine.answer("What does KSPGMRES do?").answer
+
+    def test_delta_and_scratch_engines_answer_identically(
+        self, bundle, fresh_cache
+    ):
+        cfg = _cfg()
+        edited = _edited(bundle)
+        engine = open_engine(cfg, bundle=bundle)
+        report = ingest_corpus(engine, edited)
+        assert report.resolution == "delta"
+        swapped_answer = engine.answer("What does KSPCG do?").answer
+
+        clear_index_cache()
+        scratch = open_engine(cfg, bundle=edited)
+        assert scratch.artifact.digest == report.digest
+        assert scratch.answer("What does KSPCG do?").answer == swapped_answer
+
+
+class TestApplyDocuments:
+    def _doc(self, text="Vetted interaction: KSPFOO usage note."):
+        return Document(
+            text=text, metadata={"source": "history/note.md", "doc_type": "interaction"}
+        )
+
+    def test_insertion_and_scoped_invalidation(self, bundle, fresh_cache):
+        engine = open_engine(_cfg(), bundle=bundle)
+        engine.answer("What does KSPGMRES do?")
+        report = apply_documents(engine, [self._doc()])
+        assert report.resolution == "live-store"
+        assert not report.swapped and engine.epoch == 0
+        assert len(report.added_ids) == 1
+        assert report.invalidation["scoped"] is True
+
+    def test_duplicate_insertion_is_noop(self, bundle, fresh_cache):
+        engine = open_engine(_cfg(), bundle=bundle)
+        doc = self._doc()
+        assert len(apply_documents(engine, [doc]).added_ids) == 1
+        second = apply_documents(engine, [doc])
+        assert second.noop and not second.added_ids
+
+    def test_requires_engine_or_store(self):
+        with pytest.raises(IngestError):
+            apply_documents(None, [self._doc()])
+
+    def test_explicit_store_without_engine(self, chunks, embedding):
+        store = VectorStore.from_documents(chunks[:5], embedding)
+        report = apply_documents(None, [self._doc()], store=store)
+        assert len(report.added_ids) == 1
+        assert report.epoch == 0 and report.digest == ""
+
+
+class TestDeprecatedWritePath:
+    def test_public_add_documents_warns(self, chunks, embedding):
+        store = VectorStore.from_documents(chunks[:5], embedding)
+        doc = Document(text="late addition", metadata={"source": "x.md"})
+        with pytest.warns(DeprecationWarning, match="repro.ingest"):
+            store.add_documents([doc])
+
+    def test_internal_paths_do_not_warn(self, bundle, fresh_cache):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = open_engine(_cfg(), bundle=bundle)
+            apply_documents(
+                engine,
+                [Document(text="quiet insert", metadata={"source": "h.md"})],
+            )
+            ingest_corpus(engine, _edited(bundle))
+            engine.answer("What does KSPGMRES do?")
+
+    def test_workflow_feed_routes_through_ingest(self, fresh_cache):
+        from repro.api import open_workflow
+
+        wf = open_workflow(_cfg())
+        wf.ask("What is the default KSP type?")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            added = wf.feed_history_into_rag(min_mean_score=0.0)
+        assert added >= 0  # the reroute is warning-free either way
+
+
+class TestOverlayTree:
+    def test_unedited_tree_is_digest_identical(self, bundle, tmp_path):
+        from repro.corpus.builder import CorpusBuilder
+        from repro.index.artifact import corpus_digest
+
+        root = CorpusBuilder().write_tree(tmp_path / "docs", bundle)
+        revised = overlay_tree(bundle, root)
+        assert corpus_digest(revised) == corpus_digest(bundle)
+
+    def test_edit_and_new_file_overlay(self, bundle, tmp_path):
+        from repro.corpus.builder import CorpusBuilder
+
+        root = CorpusBuilder().write_tree(tmp_path / "docs", bundle)
+        faq = root / "faq.md"
+        faq.write_text(faq.read_text() + "\nNew FAQ entry.\n", encoding="utf-8")
+        extra = root / "manual" / "zz-new-chapter.md"
+        extra.write_text("# New Chapter\n\nFresh content.\n", encoding="utf-8")
+        revised = overlay_tree(bundle, root)
+        by_source = {d.metadata["source"]: d for d in revised.documents}
+        assert by_source["faq.md"].text.endswith("New FAQ entry.\n")
+        assert by_source["manual/zz-new-chapter.md"].metadata["doc_type"] == (
+            "manual_chapter"
+        )
+        assert len(revised.documents) == len(bundle.documents) + 1
+
+    def test_missing_tree_rejected(self, bundle, tmp_path):
+        from repro.errors import CorpusError
+
+        with pytest.raises(CorpusError):
+            overlay_tree(bundle, tmp_path / "nope")
+
+
+class TestCliIngest:
+    def test_noop_ingest(self, capsys, fresh_cache):
+        from repro.cli import main
+
+        rc = main(["--fast", "--embedding", EMBED, "ingest"])
+        assert rc == 0
+        out = capsys.readouterr()
+        payload = json.loads(out.out)
+        assert payload["noop"] is True
+        assert "no-op" in out.err
+
+    def test_edited_tree_ingest(self, capsys, tmp_path, fresh_cache):
+        from repro.cli import main
+
+        docs = tmp_path / "docs"
+        assert main(["corpus", "--out", str(docs)]) == 0
+        capsys.readouterr()
+        faq = docs / "faq.md"
+        faq.write_text(faq.read_text() + "\nRevised entry.\n", encoding="utf-8")
+        rc = main([
+            "--fast", "--embedding", EMBED, "ingest",
+            "--docs", str(docs), "--warm", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr()
+        payload = json.loads(out.out)
+        assert payload["noop"] is False
+        assert payload["resolution"] == "delta"
+        assert payload["epoch"] == 1
+        assert 0 < payload["delta"]["embedded"] < payload["delta"]["total"]
+        assert "embedded" in out.err

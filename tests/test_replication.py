@@ -312,7 +312,7 @@ class TestReplicatedStore:
         store, _ = self._replicated(docs, wrapper=None)
         extra = Document(text="new flexible gmres note", metadata={"source": "d0"})
         target = shard_for_document(extra, 3)
-        store.add_documents([extra])
+        store._add_documents([extra])
         replica_set = store.replica_sets[target]
         assert all(len(r) == len(store.shards[target]) for r in replica_set.replicas)
         # A dead primary after the write: the backup must already hold

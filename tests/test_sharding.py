@@ -137,7 +137,7 @@ class TestShardedStore:
         sharded = self._sharded(docs, num_shards=3)
         before = [len(s) for s in sharded.shards]
         extra = Document(text="new cg note", metadata={"source": "d0"})
-        ids = sharded.add_documents([extra])
+        ids = sharded._add_documents([extra])
         assert ids == [extra.doc_id]
         target = shard_for_document(extra, 3)
         after = [len(s) for s in sharded.shards]
@@ -147,7 +147,7 @@ class TestShardedStore:
     def test_fork_isolates_parent(self):
         sharded = self._sharded(self._docs(6))
         fork = sharded.fork()
-        fork.add_documents([Document(text="child only", metadata={"source": "d0"})])
+        fork._add_documents([Document(text="child only", metadata={"source": "d0"})])
         assert len(fork) == len(sharded) + 1
 
     def test_add_documents_routes_by_shard_after_fork(self):
@@ -159,7 +159,7 @@ class TestShardedStore:
         extra = Document(text="routed after fork", metadata={"source": "d5"})
         target = shard_for_document(extra, 3)
         before = [len(s) for s in fork.shards]
-        fork.add_documents([extra])
+        fork._add_documents([extra])
         after = [len(s) for s in fork.shards]
         assert after[target] == before[target] + 1
         assert sum(after) == sum(before) + 1

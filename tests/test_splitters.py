@@ -146,3 +146,60 @@ class TestSentenceWindowSplitter:
         joined = " ".join(sp.split_text(self.TEXT))
         for word in ("One", "Two", "Three", "Four", "Five"):
             assert word in joined
+
+
+class TestChunkIdentityStability:
+    """Satellite of ISSUE 10: chunk identity is stable under
+    whitespace-only edits — the property the delta ingest lane leans on
+    to classify a reflowed paragraph as *modified* (same content
+    address) instead of removed + added."""
+
+    def test_split_is_deterministic(self):
+        from repro.ingest import chunk_id
+
+        text = "\n\n".join(f"Paragraph {i} about KSP solvers." for i in range(30))
+        doc = Document(text=text, metadata={"source": "s.md"})
+        sp = RecursiveCharacterTextSplitter(chunk_size=120, chunk_overlap=20)
+        first = sp.split_documents([doc])
+        second = sp.split_documents([doc])
+        assert [c.doc_id for c in first] == [c.doc_id for c in second]
+        assert [chunk_id(c) for c in first] == [chunk_id(c) for c in second]
+
+    @given(st.text(alphabet="abcd .\n", min_size=1, max_size=300), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_whitespace_normalized_equal_text_implies_equal_ids(self, text, data):
+        import re
+
+        from repro.ingest import chunk_address, normalized_text
+
+        # Rewrite every whitespace run as a different whitespace run:
+        # the canonical whitespace-only edit.
+        parts = re.split(r"(\s+)", text)
+        perturbed = "".join(
+            data.draw(st.text(alphabet=" \t\n", min_size=1, max_size=3))
+            if part and part.isspace()
+            else part
+            for part in parts
+        )
+        assert normalized_text(text) == normalized_text(perturbed)
+        assert chunk_address(text, "s.md") == chunk_address(perturbed, "s.md")
+
+    @given(st.sampled_from(["café", "café", "Ω", "Ω"]))
+    @settings(max_examples=10, deadline=None)
+    def test_unicode_normalization_forms_share_an_address(self, word):
+        import unicodedata
+
+        from repro.ingest import chunk_address
+
+        nfc = unicodedata.normalize("NFC", word)
+        nfd = unicodedata.normalize("NFD", word)
+        assert chunk_address(nfc, "s.md") == chunk_address(nfd, "s.md")
+
+    def test_reflowed_chunk_is_modified_not_new(self):
+        from repro.ingest import diff_chunks
+
+        old = [Document(text="use  KSPSolve\tnow", metadata={"source": "s.md"})]
+        new = [Document(text="use KSPSolve now", metadata={"source": "s.md"})]
+        delta = diff_chunks(old, new)
+        assert [d.text for d in delta.modified] == ["use KSPSolve now"]
+        assert not delta.added

@@ -175,7 +175,7 @@ class TestVectorStore:
         assert all(h.metadata["doc_type"] == "faq" for h in hits)
 
     def test_duplicate_insert_skipped(self, small_store):
-        added = small_store.add_documents([DOCS[0]])
+        added = small_store._add_documents([DOCS[0]])
         assert added == []
         assert len(small_store) == 4
 
